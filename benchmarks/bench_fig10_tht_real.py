@@ -1,0 +1,83 @@
+"""Figure 10 — running time of THT methods on the real-graph stand-ins.
+
+Paper series: FLoS_THT, GI_THT, LS_THT with truncation length L = 10.
+The paper finds both local methods 2–3 orders faster than GI_THT, with
+FLoS_THT ahead of LS_THT thanks to tighter bounds.
+
+Reproduction caveat (EXPERIMENTS.md): exact THT top-k certification is
+near-global on the stand-ins — the truncated-hitting-time spectrum is
+compressed (most nodes sit within 0.5 of the k-th value), so FLoS_THT
+must visit most of the graph and the paper's 2–3 order gap over GI does
+not appear at this scale.  LS_THT (approximate, ring-limited) retains a
+clear advantage, and the k-growth shape of FLoS_THT matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import (
+    FIG10_SCALES,
+    bench_config,
+    load_dataset,
+    one_query_callable,
+    sample_queries,
+    sweep_family,
+    time_table,
+    write_report,
+)
+from repro.measures import THT
+
+KS = [1, 8]
+METHOD_NAMES = ["FLoS_THT", "GI_THT", "LS_THT"]
+DATASETS = list(FIG10_SCALES)
+
+
+@pytest.fixture(scope="module", params=DATASETS)
+def dataset(request):
+    name = request.param
+    return name, load_dataset(name, scale=FIG10_SCALES[name])
+
+
+def test_fig10_report(dataset, benchmark):
+    name, graph = dataset
+    cfg = bench_config(default_queries=2)
+
+    def sweep():
+        return sweep_family(
+            graph,
+            THT(10),
+            METHOD_NAMES,
+            KS,
+            queries=cfg.queries,
+            seed=cfg.seed,
+        )
+
+    runs, prep = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = time_table(
+        f"Figure 10({name}) — THT running time (L=10), "
+        f"|V|={graph.num_nodes}, |E|={graph.num_edges}",
+        runs,
+        KS,
+        prep_seconds=prep,
+        note="FLoS_THT is exact; LS_THT approximate; see EXPERIMENTS.md "
+        "for the visited-fraction divergence at this scale",
+    )
+    write_report(f"fig10_{name}", table)
+
+    by = {(r.method, r.k): r for r in runs}
+    # Every method returns k nodes and completes; exactness of FLoS_THT
+    # itself is covered by the unit tests.
+    assert by[("FLoS_THT", 8)].mean_seconds > 0
+    assert by[("LS_THT", 8)].mean_visited <= graph.num_nodes
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig10_single_query_az(benchmark, method):
+    graph = load_dataset("AZ", scale=FIG10_SCALES["AZ"])
+    q = int(sample_queries(graph, 1, seed=1)[0])
+    benchmark.pedantic(
+        one_query_callable(method, graph, THT(10), q, 4),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the engine primitives (not a paper figure).
+
+Performance-regression coverage for the three hot paths every FLoS
+query exercises thousands of times: visited-set expansion
+(``LocalView._visit``), the matrix-free mat-vec (``CooOperator``), and
+the warm-started Jacobi solve. The pytest-benchmark table makes
+regressions in any of them visible immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flos import FLoSOptions, PHPSpaceEngine
+from repro.core.iterative import CooOperator, jacobi_solve
+from repro.core.localgraph import LocalView
+from repro.graph.generators import rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(14, 150_000, seed=20)
+
+
+def test_micro_localview_expansion(benchmark, graph):
+    """Visit ~1k nodes through the incremental LocalView."""
+
+    def expand():
+        view = LocalView(graph, 17, track_tightening=True)
+        while view.size < 1000:
+            boundary = np.flatnonzero(view.boundary_mask())
+            if not len(boundary):
+                break
+            view.expand(int(boundary[-1]))
+        return view.size
+
+    size = benchmark(expand)
+    assert size >= 1000 or size == graph.num_nodes
+
+
+def test_micro_coo_matvec(benchmark, graph):
+    """One sparse mat-vec over a ~100k-triplet visited subgraph."""
+    view = LocalView(graph, 17, track_tightening=False)
+    while view.size < 4000:
+        boundary = np.flatnonzero(view.boundary_mask())
+        if not len(boundary):
+            break
+        for local in boundary[-8:]:
+            view.expand(int(local))
+    op = view.transition_operator(0.5)
+    x = np.random.default_rng(0).random(view.size)
+    y = benchmark(lambda: op @ x)
+    assert y.shape == x.shape
+
+
+def test_micro_jacobi_warm_start(benchmark, graph):
+    """A warm-started bound refresh (the per-iteration solve of Alg. 7)."""
+    view = LocalView(graph, 17, track_tightening=False)
+    while view.size < 2000:
+        boundary = np.flatnonzero(view.boundary_mask())
+        if not len(boundary):
+            break
+        for local in boundary[-4:]:
+            view.expand(int(local))
+    op = view.transition_operator(0.5)
+    e = np.zeros(view.size)
+    e[0] = 1.0
+    warm, _ = jacobi_solve(op, e, np.zeros(view.size), tau=1e-5)
+
+    def refresh():
+        return jacobi_solve(op, e, warm, tau=1e-5)
+
+    r, iterations = benchmark(refresh)
+    assert iterations <= 3  # warm start converges almost immediately
+
+
+def test_micro_full_query(benchmark, graph):
+    """End-to-end single PHP query on the 16k-node R-MAT graph."""
+
+    def query():
+        engine = PHPSpaceEngine(
+            graph, 17, 10, decay=0.5, options=FLoSOptions(tie_epsilon=1e-5)
+        )
+        return engine.run()
+
+    outcome = benchmark(query)
+    assert outcome.exact

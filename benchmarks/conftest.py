@@ -1,0 +1,12 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks run on *scaled* stand-in graphs (see DESIGN.md §5); the scale
+factors below keep the default suite within a few minutes of wall time.
+Set ``REPRO_BENCH_FULL=1`` for a slower, higher-fidelity run with more
+queries per point.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

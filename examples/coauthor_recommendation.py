@@ -1,0 +1,92 @@
+"""Co-author recommendation on a DBLP-style collaboration network.
+
+The paper's motivating scenario: given an author, find the k researchers
+"closest" to them in the collaboration graph.  Random-walk proximity is
+the standard tool because it rewards many short, exclusive collaboration
+paths over single long ones.
+
+This example:
+
+1. builds a DBLP-like community-structured collaboration graph
+   (communities = research areas) with collaboration-count edge weights;
+2. answers a top-10 query with FLoS under RWR (personalized PageRank);
+3. shows Theorem 2 in action — PHP, EI, and DHT all return the same
+   ranking, so one engine serves all three;
+4. compares against whole-graph power iteration to show the local-search
+   advantage.
+
+Run:  python examples/coauthor_recommendation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DHT, EI, PHP, RWR, flos_top_k
+from repro.baselines import global_iteration_top_k
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import community_graph
+
+
+def build_collaboration_graph(seed: int = 7):
+    """Community-structured graph with integer collaboration weights."""
+    base = community_graph(
+        15_000, num_communities=300, avg_internal_degree=5.0,
+        avg_external_degree=0.8, seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    edges, _ = base.edge_list()
+    # Paper-count weights: most pairs collaborate once or twice, a few
+    # are long-running collaborations.
+    weights = rng.zipf(2.5, size=len(edges)).clip(max=40).astype(float)
+    builder = GraphBuilder(base.num_nodes)
+    builder.add_edges(edges, weights)
+    return builder.build()
+
+
+def main():
+    graph = build_collaboration_graph()
+    author = 2024
+    k = 10
+    print(
+        f"collaboration graph: {graph.num_nodes} authors, "
+        f"{graph.num_edges} collaborating pairs"
+    )
+
+    # --- top-10 under RWR (personalized PageRank) ---------------------
+    t0 = time.perf_counter()
+    rwr = flos_top_k(graph, RWR(c=0.5), author, k)
+    flos_ms = (time.perf_counter() - t0) * 1e3
+    print(f"\nauthors most related to author #{author} (RWR):")
+    for rank, (node, value) in enumerate(zip(rwr.nodes, rwr.values), 1):
+        print(f"  {rank:>2}. author #{int(node):<6} score {value:.2e}")
+    print(
+        f"FLoS_RWR: {flos_ms:.0f} ms, visited "
+        f"{rwr.stats.visited_nodes}/{graph.num_nodes} nodes"
+    )
+
+    # --- the same, the global way --------------------------------------
+    t0 = time.perf_counter()
+    gi = global_iteration_top_k(graph, RWR(c=0.5), author, k)
+    gi_ms = (time.perf_counter() - t0) * 1e3
+    assert gi.node_set() == rwr.node_set()
+    print(f"GI_RWR (whole-graph power iteration): {gi_ms:.0f} ms — same answer")
+
+    # --- Theorem 2: PHP, EI and DHT agree on the ranking ---------------
+    php = flos_top_k(graph, PHP(c=0.5), author, k)
+    ei = flos_top_k(graph, EI(c=0.5), author, k)
+    dht = flos_top_k(graph, DHT(c=0.5), author, k)
+    assert list(php.nodes) == list(ei.nodes) == list(dht.nodes)
+    print(
+        "\nTheorem 2 check: PHP, EI and DHT rankings are identical "
+        f"({[int(n) for n in php.nodes[:5]]}...) ✓"
+    )
+    print(
+        "  (RWR's ranking differs — it is degree-weighted PHP, "
+        "Theorem 6; shared nodes with PHP top-10: "
+        f"{len(php.node_set() & rwr.node_set())}/10)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Top-k search over a graph that never fits in memory (paper Sec. 6.4).
+
+FLoS touches a graph only through neighbor queries, so it runs unchanged
+against the paged disk store — the library's stand-in for the paper's
+Neo4j deployment.  This example:
+
+1. generates an R-MAT graph and serialises it to the binary store;
+2. opens the store with a deliberately small page-cache budget (8 MiB,
+   a fraction of the file), so neighbor fetches do real file IO;
+3. runs the same ``flos_top_k`` call used for in-memory graphs;
+4. reports the IO behaviour: pages read, cache hit rate, bytes fetched —
+   the point being that an exact answer needs only the pages holding the
+   query's neighborhood, never a pass over the whole file.
+
+Run:  python examples/disk_resident_search.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import PHP, flos_top_k
+from repro.graph.disk import DiskGraph, write_disk_graph
+from repro.graph.generators import rmat
+
+
+def main():
+    print("generating a 2^16-node R-MAT graph...")
+    graph = rmat(16, 800_000, seed=99)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "graph.flos"
+        header = write_disk_graph(graph, path)
+        file_mib = header.file_size / 2**20
+        print(
+            f"stored: {header.num_nodes} nodes, {header.num_edges} edges, "
+            f"{file_mib:.1f} MiB on disk"
+        )
+
+        # An 8 MiB cache: a fraction of the file resides in memory.
+        with DiskGraph(path, memory_budget=8 << 20) as disk:
+            query, k = 4242, 10
+            t0 = time.perf_counter()
+            result = flos_top_k(disk, PHP(c=0.5), query, k)
+            ms = (time.perf_counter() - t0) * 1e3
+
+            print(f"\ntop-{k} for node {query} (exact, from disk):")
+            for node, value in zip(result.nodes, result.values):
+                print(f"  node {int(node):>6}  proximity ≈ {value:.5f}")
+
+            stats = disk.cache_stats
+            print(
+                f"\nquery time: {ms:.0f} ms | visited "
+                f"{result.stats.visited_nodes} nodes "
+                f"({result.stats.visited_ratio(disk.num_nodes):.3%})"
+            )
+            print(
+                f"IO: {stats.misses} page reads, "
+                f"{stats.bytes_read / 2**20:.2f} MiB fetched "
+                f"(re-reads of evicted pages included), "
+                f"cache hit rate {stats.hit_rate:.1%}"
+            )
+
+        # The same query on the in-memory graph gives the same answer.
+        mem = flos_top_k(graph, PHP(c=0.5), query, k)
+        assert list(mem.nodes) == list(result.nodes)
+        print("\ndisk-resident answer identical to in-memory answer ✓")
+
+
+if __name__ == "__main__":
+    main()

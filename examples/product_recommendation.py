@@ -1,0 +1,69 @@
+"""'Customers who bought this also bought' on an Amazon-style graph.
+
+Co-purchase networks (the paper's AZ dataset) are near-uniform-degree
+graphs with strong community structure: products cluster into niches.
+Random-walk proximity finds the products most tightly co-purchased with
+a query product — not merely its direct co-purchases.
+
+This example:
+
+1. loads the Amazon stand-in dataset (same generator as the benchmarks);
+2. answers a "related products" query with FLoS under PHP;
+3. demonstrates that the answer is *certified*: the returned bound
+   intervals of the top-k are disjoint from everything else, so the
+   result provably equals the brute-force ranking;
+4. shows how the visited neighborhood scales with k.
+
+Run:  python examples/product_recommendation.py
+"""
+
+import time
+
+from repro import PHP, flos_top_k
+from repro.graph.datasets import load_dataset
+from repro.measures import power_iteration
+
+
+def main():
+    graph = load_dataset("AZ", scale=0.05)
+    print(
+        f"co-purchase graph (Amazon stand-in): {graph.num_nodes} products, "
+        f"{graph.num_edges} co-purchase pairs"
+    )
+    product = 777
+
+    # --- related products, certified exact ----------------------------
+    result = flos_top_k(graph, PHP(c=0.5), product, 8)
+    print(f"\ncustomers who bought product #{product} also bought:")
+    for rank, (node, lo, hi) in enumerate(
+        zip(result.nodes, result.lower, result.upper), 1
+    ):
+        print(
+            f"  {rank}. product #{int(node):<6} "
+            f"proximity ∈ [{lo:.5f}, {hi:.5f}]"
+        )
+
+    # --- the certificate is real: check against brute force -----------
+    exact, _ = power_iteration(PHP(0.5), graph, product, tau=1e-10)
+    oracle = PHP(0.5).top_k_from_vector(exact, product, 8)
+    assert sorted(map(int, result.nodes)) == sorted(map(int, oracle))
+    print("\ncertified answer equals the brute-force ranking ✓")
+
+    # --- how the search grows with k -----------------------------------
+    print(f"\n{'k':>4} {'visited':>9} {'ratio':>9} {'time (ms)':>10}")
+    for k in (1, 2, 4, 8, 16, 32):
+        t0 = time.perf_counter()
+        res = flos_top_k(graph, PHP(0.5), product, k)
+        ms = (time.perf_counter() - t0) * 1e3
+        ratio = res.stats.visited_ratio(graph.num_nodes)
+        print(
+            f"{k:>4} {res.stats.visited_nodes:>9} {ratio:>9.3%} {ms:>10.1f}"
+        )
+    print(
+        "\nthe local neighborhood FLoS certifies grows gently with k — "
+        "no preprocessing, no whole-graph pass"
+    )
+
+
+if __name__ == "__main__":
+    main()

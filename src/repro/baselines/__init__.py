@@ -1,0 +1,34 @@
+"""State-of-the-art comparison methods (paper Table 5)."""
+
+from repro.baselines.castanet import castanet_top_k
+from repro.baselines.clustered import ClusterIndex
+from repro.baselines.dne import dne_top_k
+from repro.baselines.embedding import EmbeddingIndex
+from repro.baselines.global_iteration import global_iteration_top_k
+from repro.baselines.kdash import KDashIndex
+from repro.baselines.ls_tht import ls_tht_top_k
+from repro.baselines.push import ls_rwr_top_k, nn_ei_top_k
+from repro.baselines.registry import (
+    METHODS,
+    Method,
+    default_measure,
+    get_method,
+    methods_for_family,
+)
+
+__all__ = [
+    "global_iteration_top_k",
+    "dne_top_k",
+    "nn_ei_top_k",
+    "ls_rwr_top_k",
+    "ClusterIndex",
+    "ls_tht_top_k",
+    "castanet_top_k",
+    "KDashIndex",
+    "EmbeddingIndex",
+    "METHODS",
+    "Method",
+    "get_method",
+    "methods_for_family",
+    "default_measure",
+]

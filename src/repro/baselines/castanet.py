@@ -1,0 +1,97 @@
+"""Castanet — improved global iteration for RWR top-k [Fujiwara et al. 2013].
+
+"Efficient ad-hoc search for personalized PageRank" decomposes RWR into
+random-walk probabilities of different lengths and terminates as soon as
+the accumulated prefix determines the top-k, instead of iterating to a
+fixed tolerance.  We implement that core mechanism:
+
+    RWR_q = c · Σ_{l ≥ 0} (1-c)^l (Pᵀ)^l e_q
+
+After ``t`` terms every node holds a lower bound (the accumulated prefix)
+and an upper bound (prefix + remaining tail mass ``(1-c)^{t+1}``, since
+the tail distributes at most that much total probability and no node can
+receive more than all of it).  Iteration stops once the k-th largest
+lower bound clears every other node's upper bound — an exact certificate,
+typically reached after far fewer sweeps than ``τ``-convergence, which is
+how Castanet "cuts the running time from the GI method by 72% to 91%"
+(paper Sec. 6.2.2).  Each sweep still costs Θ(|E|), so the method remains
+*global* — the scaling-with-size gap to FLoS in Figures 8 and 12.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import SearchStats, TopKResult
+from repro.errors import SearchError
+from repro.graph.memory import CSRGraph
+from repro.measures.rwr import RWR
+
+
+def castanet_top_k(
+    graph: CSRGraph,
+    measure: RWR,
+    query: int,
+    k: int,
+    *,
+    max_sweeps: int = 10_000,
+    tie_tolerance: float = 1e-12,
+) -> TopKResult:
+    """Exact RWR top-k by walk-length decomposition with early pruning."""
+    if k < 1:
+        raise SearchError("k must be >= 1")
+    graph.validate_node(query)
+    started = time.perf_counter()
+    c = measure.c
+    p_t = graph.transition_matrix().T.tocsr()
+
+    n = graph.num_nodes
+    walk = np.zeros(n)
+    walk[query] = 1.0
+    lower = c * walk.copy()
+    tail = 1.0 - c  # Σ_{l > t} c (1-c)^l after t = 0
+    sweeps = 1
+
+    while sweeps < max_sweeps:
+        if _certified(lower, tail, query, k, tie_tolerance):
+            break
+        walk = p_t @ walk
+        lower += c * (1.0 - c) ** sweeps * walk
+        tail *= 1.0 - c
+        sweeps += 1
+
+    top = measure.top_k_from_vector(lower, query, k)
+    stats = SearchStats(
+        visited_nodes=n,
+        solver_iterations=sweeps,
+        wall_time_seconds=time.perf_counter() - started,
+    )
+    return TopKResult(
+        query=query,
+        k=k,
+        measure_name=measure.name,
+        nodes=top,
+        values=lower[top],
+        lower=lower[top],
+        upper=np.minimum(lower[top] + tail, 1.0),
+        exact=True,
+        stats=stats,
+    )
+
+
+def _certified(
+    lower: np.ndarray, tail: float, query: int, k: int, tol: float
+) -> bool:
+    """True when prefix bounds already pin down the top-k set."""
+    values = lower.copy()
+    values[query] = -np.inf
+    if k >= len(values):
+        return True
+    # k-th largest lower bound vs (k+1)-th largest upper bound; upper
+    # bound of any node is its lower bound + the undistributed tail.
+    part = np.partition(values, len(values) - k - 1)
+    kth_lb = np.partition(values, len(values) - k)[len(values) - k]
+    rival_ub = part[len(values) - k - 1] + tail
+    return kth_lb >= rival_ub - tol

@@ -1,0 +1,165 @@
+"""LS_THT — local search for truncated hitting time [Sarkar & Moore 2007].
+
+The GRANCH-style baseline for THT (paper Table 5): grow a neighborhood
+around the query in whole BFS *rings*, maintain lower/upper hitting-time
+bounds over the neighborhood, and stop heuristically.  Differences from
+FLoS_THT that make its bounds looser and its answer approximate:
+
+* expansion is ring-at-a-time rather than best-first, so many irrelevant
+  nodes are pulled in before useful ones;
+* the upper bound treats every walk that leaves the neighborhood as
+  taking the worst case ``L`` (like FLoS), but the *lower* bound treats
+  it as hitting the query immediately; no incremental restoration or
+  adaptive boundary value tightens the gap within a ring;
+* termination is heuristic: the search stops when the top-k *set* (by
+  optimistic bound) is unchanged between consecutive rings, or the ring
+  radius reaches ``L``, or a node budget is hit — there is no
+  exactness certificate, matching the "Approx." entry in Table 5.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.result import SearchStats, TopKResult
+from repro.errors import SearchError
+from repro.graph.base import GraphAccess
+from repro.measures.tht import THT
+
+DEFAULT_BUDGET = 20_000
+
+
+def ls_tht_top_k(
+    graph: GraphAccess,
+    measure: THT,
+    query: int,
+    k: int,
+    *,
+    budget: int = DEFAULT_BUDGET,
+) -> TopKResult:
+    """Approximate THT top-k by ring expansion with hitting-time bounds."""
+    if k < 1:
+        raise SearchError("k must be >= 1")
+    graph.validate_node(query)
+    started = time.perf_counter()
+    horizon = measure.horizon
+
+    local_of: dict[int, int] = {query: 0}
+    order: list[int] = [query]
+    adjacency: list[tuple[np.ndarray, np.ndarray]] = []
+    neighbor_queries = 0
+
+    def fetch(u: int) -> tuple[np.ndarray, np.ndarray]:
+        nonlocal neighbor_queries
+        ids, probs = graph.transition_probabilities(u)
+        neighbor_queries += 1
+        adjacency.append((ids, probs))
+        return ids, probs
+
+    frontier = [query]
+    fetch(query)
+    prev_top: tuple[int, ...] | None = None
+    lower = np.zeros(1)
+    upper = np.zeros(1)
+
+    for _ring in range(horizon):
+        # Expand one full BFS ring.
+        next_frontier: list[int] = []
+        for u in frontier:
+            ids, _ = adjacency[local_of[u]]
+            for v in ids:
+                v = int(v)
+                if v not in local_of:
+                    local_of[v] = len(order)
+                    order.append(v)
+                    next_frontier.append(v)
+        for v in next_frontier:
+            fetch(v)
+        frontier = next_frontier
+        lower, upper = _bounds(
+            order, local_of, adjacency, horizon
+        )
+        top = _current_top(order, lower, upper, k)
+        if prev_top is not None and top == prev_top and len(top) >= k:
+            break
+        prev_top = top
+        if not frontier or len(order) >= budget:
+            break
+
+    candidates = np.arange(1, len(order))
+    mid = 0.5 * (lower + upper)
+    top_local = candidates[np.lexsort((candidates, mid[candidates]))][:k]
+    nodes = np.array([order[i] for i in top_local], dtype=np.int64)
+    stats = SearchStats(
+        visited_nodes=len(order),
+        expansions=len(order),
+        neighbor_queries=neighbor_queries,
+        wall_time_seconds=time.perf_counter() - started,
+    )
+    return TopKResult(
+        query=query,
+        k=k,
+        measure_name=measure.name,
+        nodes=nodes,
+        values=mid[top_local],
+        lower=lower[top_local],
+        upper=upper[top_local],
+        exact=False,
+        stats=stats,
+        exhausted_component=len(nodes) < k,
+    )
+
+
+def _bounds(
+    order: list[int],
+    local_of: dict[int, int],
+    adjacency: list[tuple[np.ndarray, np.ndarray]],
+    horizon: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """L-step DP bounds on the visited set (boundary pessimism/optimism)."""
+    m = len(order)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    outside_mass = np.zeros(m)
+    for local, (ids, probs) in enumerate(adjacency):
+        if local == 0:
+            continue  # the query is absorbing
+        for v, p in zip(ids, probs):
+            dest = local_of.get(int(v))
+            if dest is None:
+                outside_mass[local] += float(p)
+            else:
+                rows.append(local)
+                cols.append(dest)
+                vals.append(float(p))
+    t_s = sp.csr_matrix((vals, (rows, cols)), shape=(m, m))
+    e = np.ones(m)
+    e[0] = 0.0
+    lb = np.zeros(m)
+    for _ in range(horizon):
+        lb = t_s @ lb + e
+        lb[0] = 0.0
+    e_ub = e + outside_mass * float(horizon)
+    e_ub[0] = 0.0
+    ub = np.zeros(m)
+    for _ in range(horizon):
+        ub = t_s @ ub + e_ub
+        ub[0] = 0.0
+    np.minimum(ub, float(horizon), out=ub)
+    np.minimum(lb, ub, out=lb)
+    return lb, ub
+
+
+def _current_top(
+    order: list[int], lower: np.ndarray, upper: np.ndarray, k: int
+) -> tuple[int, ...]:
+    candidates = np.arange(1, len(order))
+    if len(candidates) == 0:
+        return ()
+    mid = 0.5 * (lower + upper)
+    chosen = candidates[np.lexsort((candidates, mid[candidates]))][:k]
+    return tuple(sorted(order[i] for i in chosen))

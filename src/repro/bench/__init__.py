@@ -1,0 +1,14 @@
+"""Benchmark harness: workload sampling, timing runners, table emitters."""
+
+from repro.bench.runner import MethodRun, run_method
+from repro.bench.tables import format_table, write_report
+from repro.bench.workload import bench_config, sample_queries
+
+__all__ = [
+    "run_method",
+    "MethodRun",
+    "format_table",
+    "write_report",
+    "sample_queries",
+    "bench_config",
+]

@@ -1,0 +1,108 @@
+"""Plain-text log-scale charts for the benchmark reports.
+
+The paper's figures are log-y running-time plots; this renders the same
+series as ASCII so every ``benchmarks/results/*.txt`` report carries the
+visual shape (who is flat, who grows, who crosses whom) alongside the
+numeric table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a fixed-size ASCII chart.
+
+    ``x`` positions are mapped linearly over their rank (the paper's
+    figures use categorical k / size axes), ``y`` logarithmically by
+    default.  Returns a multi-line string.
+    """
+    cleaned = {
+        name: [(float(x), float(y)) for x, y in pts if y > 0 or not log_y]
+        for name, pts in series.items()
+    }
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        return f"{title}\n(no data)\n"
+
+    xs = sorted({x for pts in cleaned.values() for x, _ in pts})
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    def col_of(x: float) -> int:
+        rank = xs.index(x)
+        if len(xs) == 1:
+            return width // 2
+        return round(rank * (width - 1) / (len(xs) - 1))
+
+    def row_of(y: float) -> int:
+        v = math.log10(y) if log_y else y
+        frac = (v - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(cleaned.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            r, c = row_of(y), col_of(x)
+            grid[r][c] = marker if grid[r][c] == " " else "!"
+
+    def y_tick(row: int) -> str:
+        frac = 1.0 - row / (height - 1)
+        v = y_lo + frac * (y_hi - y_lo)
+        value = 10**v if log_y else v
+        return f"{value:>9.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        prefix = y_tick(r) if r % 5 == 0 or r == height - 1 else " " * 9
+        lines.append(f"{prefix} |{''.join(grid[r])}")
+    axis = "-" * width
+    lines.append(f"{'':>9} +{axis}")
+    x_ticks = "  ".join(f"{x:g}" for x in xs)
+    lines.append(f"{'':>11}x: {x_ticks}  {x_label}")
+    lines.append(f"{'':>11}{'  '.join(legend)}")
+    if y_label:
+        lines.append(f"{'':>11}y: {y_label}" + (" (log scale)" if log_y else ""))
+    lines.append("('!' marks overlapping series)")
+    return "\n".join(lines) + "\n"
+
+
+def chart_from_runs(
+    runs,
+    ks: Sequence[int],
+    *,
+    title: str,
+) -> str:
+    """Chart of mean query time vs k from a list of MethodRun objects."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for run in runs:
+        series.setdefault(run.method, []).append(
+            (float(run.k), run.mean_seconds * 1e3)
+        )
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(
+        series, title=title, x_label="k", y_label="mean query time (ms)"
+    )

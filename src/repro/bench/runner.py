@@ -1,0 +1,95 @@
+"""Timing runner shared by every benchmark module."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.registry import Method
+from repro.graph.memory import CSRGraph
+from repro.measures.base import Measure
+
+
+@dataclass
+class MethodRun:
+    """Aggregated outcome of one (method, graph, k) sweep."""
+
+    method: str
+    k: int
+    query_seconds: list[float] = field(default_factory=list)
+    visited: list[int] = field(default_factory=list)
+    solver_iterations: list[int] = field(default_factory=list)
+    prepare_seconds: float = 0.0
+    results: list = field(default_factory=list)
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(np.mean(self.query_seconds)) if self.query_seconds else 0.0
+
+    @property
+    def min_seconds(self) -> float:
+        return float(np.min(self.query_seconds)) if self.query_seconds else 0.0
+
+    @property
+    def max_seconds(self) -> float:
+        return float(np.max(self.query_seconds)) if self.query_seconds else 0.0
+
+    @property
+    def mean_visited(self) -> float:
+        return float(np.mean(self.visited)) if self.visited else 0.0
+
+    @property
+    def mean_solver_iterations(self) -> float:
+        return (
+            float(np.mean(self.solver_iterations))
+            if self.solver_iterations
+            else 0.0
+        )
+
+    def visited_ratio(self, num_nodes: int) -> tuple[float, float, float]:
+        """(min, mean, max) visited-node ratio — the bars of Figure 9."""
+        if not self.visited or num_nodes == 0:
+            return (0.0, 0.0, 0.0)
+        arr = np.array(self.visited, dtype=np.float64) / num_nodes
+        return (float(arr.min()), float(arr.mean()), float(arr.max()))
+
+
+def run_method(
+    method: Method,
+    graph: CSRGraph,
+    measure: Measure,
+    queries: np.ndarray,
+    k: int,
+    *,
+    index=None,
+    keep_results: bool = False,
+) -> MethodRun:
+    """Run one method over a query workload; returns aggregated timings.
+
+    ``index`` carries a prepared per-graph structure for methods with a
+    preprocessing step so it can be shared across k values; when ``None``
+    the method's ``prepare`` hook runs here and its cost is recorded.
+    """
+    run = MethodRun(method=method.name, k=k)
+    if index is None:
+        started = time.perf_counter()
+        index = method.prepare(graph, measure)
+        run.prepare_seconds = time.perf_counter() - started
+    for q in queries:
+        started = time.perf_counter()
+        result = method.query(graph, measure, index, int(q), k)
+        run.query_seconds.append(time.perf_counter() - started)
+        run.visited.append(result.stats.visited_nodes)
+        run.solver_iterations.append(result.stats.solver_iterations)
+        if keep_results:
+            run.results.append(result)
+    return run
+
+
+def prepare_index(method: Method, graph: CSRGraph, measure: Measure):
+    """Run a method's prepare step, returning ``(index, seconds)``."""
+    started = time.perf_counter()
+    index = method.prepare(graph, measure)
+    return index, time.perf_counter() - started

@@ -1,0 +1,25 @@
+"""FLoS core: local view, bound engines, and the public query API."""
+
+from repro.core.api import flos_top_k
+from repro.core.basic_search import basic_top_k
+from repro.core.batch import BatchSummary, flos_top_k_batch
+from repro.core.degree_index import DegreeIndex
+from repro.core.flos import FLoSOptions, PHPSpaceEngine
+from repro.core.flos_tht import THTEngine
+from repro.core.localgraph import LocalView
+from repro.core.result import IterationSnapshot, SearchStats, TopKResult
+
+__all__ = [
+    "flos_top_k",
+    "flos_top_k_batch",
+    "BatchSummary",
+    "basic_top_k",
+    "FLoSOptions",
+    "PHPSpaceEngine",
+    "THTEngine",
+    "LocalView",
+    "DegreeIndex",
+    "TopKResult",
+    "SearchStats",
+    "IterationSnapshot",
+]

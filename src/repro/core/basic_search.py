@@ -1,0 +1,64 @@
+"""Algorithm 1 — basic top-k local search with oracle proximities.
+
+Given the *exact* proximity vector, the no-local-optimum property
+(Theorem 1 / Corollary 1) guarantees that repeatedly absorbing the best
+node on the frontier ``δS̄`` yields the global top-k after exactly ``k``
+absorptions.  This is not a practical query algorithm (it assumes the
+answer's values); it exists because it is the conceptual core of FLoS and
+a useful oracle in tests: on a no-local-optimum measure its output must
+equal brute-force ranking.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.graph.base import GraphAccess
+from repro.measures.base import Measure
+
+
+def basic_top_k(
+    graph: GraphAccess,
+    measure: Measure,
+    proximity: np.ndarray,
+    query: int,
+    k: int,
+) -> np.ndarray:
+    """Run Algorithm 1 and return the top-k node ids (closest first).
+
+    ``proximity`` must be the exact proximity vector of ``measure`` with
+    respect to ``query`` (e.g. from
+    :func:`repro.measures.exact.solve_direct`).
+    """
+    graph.validate_node(query)
+    if k < 1:
+        raise SearchError("k must be >= 1")
+    if len(proximity) != graph.num_nodes:
+        raise SearchError("proximity vector length must equal num_nodes")
+
+    sign = -1.0 if measure.rank_descending() else 1.0
+    visited = {query}
+    frontier: list[tuple[float, int]] = []
+    entered: set[int] = set()
+
+    def push_neighbors(u: int) -> None:
+        ids, _ = graph.neighbors(u)
+        for v in ids:
+            v = int(v)
+            if v not in visited and v not in entered:
+                heapq.heappush(frontier, (sign * float(proximity[v]), v))
+                entered.add(v)
+
+    push_neighbors(query)
+    result: list[int] = []
+    while len(result) < k and frontier:
+        _, u = heapq.heappop(frontier)
+        if u in visited:
+            continue
+        visited.add(u)
+        result.append(u)
+        push_neighbors(u)
+    return np.array(result, dtype=np.int64)

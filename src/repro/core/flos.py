@@ -1,0 +1,413 @@
+"""The FLoS driver in PHP space (paper Algorithms 2–6).
+
+One engine serves four measures.  PHP is computed natively; EI, DHT and RWR
+are PHP re-scalings (Theorems 2 and 6), so the engine always maintains
+*PHP* lower/upper bounds over the visited set and the measure-specific
+wrapper in :mod:`repro.core.api` converts them to native values afterwards.
+The only measure-dependent pieces inside the loop are:
+
+* the **ranking weight** ``ω_i`` — 1 for PHP/EI/DHT, the weighted degree
+  ``w_i`` for RWR (Sec. 5.6, since ``RWR(i) ∝ w_i · PHP(i)``);
+* for RWR, the extra termination guard against unvisited hubs:
+  ``min_K ω·lb ≥ w(S̄) · max_{δS} ub``.
+
+Loop structure per iteration ``t`` (Algorithm 2):
+
+1. **LocalExpansion** (Alg. 3): expand the boundary node maximising
+   ``ω_i (lb_i + ub_i) / 2``.
+2. **UpdateLowerBound** (Alg. 4): Jacobi-solve ``r = c T_S r + e_q`` on the
+   visited subgraph, warm-started from the previous lower bound (new nodes
+   start at 0).  Deleting every transition touching S̄ can only lower
+   proximities (Theorem 3), so the result lower-bounds the true values.
+3. **UpdateUpperBound** (Alg. 5): same system plus the dummy column — the
+   boundary mass rerouted to a node ``d`` pinned at
+   ``r_d^t = max_{i ∈ δS^{t-1}} ub^{t-1}_i``, warm-started from the
+   previous upper bound (new nodes start at 1).  Destination change to a
+   dominating node can only raise proximities (Theorem 5).
+4. **CheckTerminationCriteria** (Alg. 6): pick the ``k`` settled nodes
+   (all neighbors visited) with largest ``ω·lb``; stop when their minimum
+   clears every other visited node's ``ω·ub`` (which, by Corollary 1,
+   also dominates all unvisited nodes).
+
+Optionally both bounds are tightened with star-to-mesh self-loops
+(Sec. 5.3, Lemmas 3–4); ``FLoSOptions.tighten`` controls this and the
+ablation benchmark measures its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.iterative import jacobi_solve
+from repro.core.localgraph import LocalView
+from repro.core.result import IterationSnapshot, SearchStats
+from repro.errors import BudgetExceededError, SearchError
+from repro.graph.base import GraphAccess
+
+
+@dataclass(frozen=True)
+class FLoSOptions:
+    """Tuning knobs of the FLoS engines.
+
+    Defaults replicate the paper's experimental setup (Sec. 6.1–6.2):
+    ``tau = 1e-5``, single-node expansion, self-loop tightening on.
+    """
+
+    #: Termination threshold of the inner Jacobi solver (Algorithm 7).
+    tau: float = 1e-5
+    #: Apply the star-to-mesh self-loop tightening of Sec. 5.3.
+    tighten: bool = True
+    #: Number of boundary nodes expanded per iteration (paper: 1).
+    #: Larger batches trade extra visited nodes for fewer bound solves.
+    expand_batch: int = 1
+    #: Grow the expansion batch geometrically with the visited set
+    #: (``max(expand_batch, |S| // adaptive_divisor)``).  The paper's C++
+    #: implementation expands one node per iteration; re-solving the
+    #: bounds after every single expansion is what a Python reproduction
+    #: cannot afford on hard queries, so this keeps the number of bound
+    #: refreshes logarithmic in the visited-set size.  Exactness is
+    #: unaffected (bounds and termination are checked identically); the
+    #: only cost is a bounded overshoot in visited nodes.  Set to False
+    #: to reproduce the paper's expansion schedule verbatim.
+    adaptive_batching: bool = True
+    #: Divisor of the adaptive schedule; smaller = more aggressive.
+    adaptive_divisor: int = 24
+    #: Upper limit on one iteration's expansion batch.
+    max_batch: int = 4096
+    #: Abort (``BudgetExceededError``) past this many visited nodes.
+    max_visited: int | None = None
+    #: Inner-solver iteration cap.
+    max_inner_iterations: int = 10_000
+    #: Tie tolerance of the termination certificate.  With the default 0
+    #: the returned set is strictly exact, but an *exact tie* between the
+    #: k-th and (k+1)-th proximity values can only be resolved by
+    #: visiting the query's entire component (the bounds must collapse
+    #: to the tied values).  A small positive epsilon certifies a top-k
+    #: that is exact up to swaps among values closer than epsilon —
+    #: the same tolerance regime as the paper's τ-converged ground
+    #: truth.  Applies in ranking-score space (PHP-space, possibly
+    #: degree-weighted; hitting-time space for THT).
+    tie_epsilon: float = 0.0
+    #: Record per-iteration bound snapshots (Figure 4).
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise SearchError("tau must be positive")
+        if self.expand_batch < 1:
+            raise SearchError("expand_batch must be >= 1")
+        if self.adaptive_divisor < 1:
+            raise SearchError("adaptive_divisor must be >= 1")
+        if self.max_batch < 1:
+            raise SearchError("max_batch must be >= 1")
+        if self.tie_epsilon < 0:
+            raise SearchError("tie_epsilon must be non-negative")
+
+    def batch_size(self, visited: int) -> int:
+        """Expansion batch for the current visited-set size."""
+        if not self.adaptive_batching:
+            return self.expand_batch
+        return min(
+            max(self.expand_batch, visited // self.adaptive_divisor),
+            self.max_batch,
+        )
+
+
+@dataclass
+class EngineOutcome:
+    """Raw engine output in PHP space; wrappers convert to native values."""
+
+    view: LocalView
+    top_locals: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    exact: bool
+    exhausted_component: bool
+    stats: SearchStats
+    trace: list[IterationSnapshot] = field(default_factory=list)
+
+
+class PHPSpaceEngine:
+    """FLoS over the PHP recursion ``r = decay · T r + e_q``."""
+
+    def __init__(
+        self,
+        graph: GraphAccess,
+        query: int,
+        k: int,
+        *,
+        decay: float,
+        degree_weighted: bool = False,
+        unvisited_degree_bound=None,
+        options: FLoSOptions | None = None,
+        exclude: frozenset[int] = frozenset(),
+    ):
+        if k < 1:
+            raise SearchError("k must be >= 1")
+        if not 0.0 < decay < 1.0:
+            raise SearchError("decay must lie in (0, 1)")
+        self.graph = graph
+        self.query = query
+        self.k = k
+        self.decay = decay
+        self.degree_weighted = degree_weighted
+        self._unvisited_degree_bound = unvisited_degree_bound
+        self.options = options or FLoSOptions()
+        # Excluded nodes still participate in the walk structure and the
+        # bounds (excluding them from the *graph* would change every
+        # proximity); they are only barred from the answer set K.
+        self.exclude = exclude
+
+        self.view = LocalView(
+            graph, query, track_tightening=self.options.tighten
+        )
+        # PHP-space bounds over local ids; the query is local id 0 with
+        # the constant proximity 1 (Sec. 3.2).
+        self._lb = np.array([1.0])
+        self._ub = np.array([1.0])
+        self._dummy_value = 1.0
+        self.stats = SearchStats()
+        self.trace: list[IterationSnapshot] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> EngineOutcome:
+        """Execute Algorithm 2 until the top-k set is certified."""
+        opts = self.options
+        iteration = 0
+        while True:
+            iteration += 1
+            # r_d^t = max upper bound on the boundary of the *previous*
+            # iteration (Algorithm 5 line 7); monotone non-increasing.
+            boundary_prev = self.view.boundary_mask()
+            if boundary_prev.any():
+                self._dummy_value = min(
+                    self._dummy_value, float(self._ub[boundary_prev].max())
+                )
+
+            expanded = self._select_expansion()
+            if len(expanded) == 0:
+                # The query's component is fully visited: bounds coincide
+                # with the exact (τ-converged) solution on the component.
+                return self._finalize_exhausted(iteration)
+            newly = self._expand(expanded)
+            if (
+                opts.max_visited is not None
+                and self.view.size > opts.max_visited
+            ):
+                raise BudgetExceededError(self.view.size, opts.max_visited)
+
+            self._update_bounds()
+            done, top_locals = self._check_termination()
+            if opts.record_trace:
+                self._record(iteration, expanded, newly, done)
+            if done:
+                self.stats.visited_nodes = self.view.size
+                self.stats.neighbor_queries = self.view.neighbor_queries
+                return EngineOutcome(
+                    view=self.view,
+                    top_locals=top_locals,
+                    lower=self._lb.copy(),
+                    upper=self._ub.copy(),
+                    exact=True,
+                    exhausted_component=False,
+                    stats=self.stats,
+                    trace=self.trace,
+                )
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — LocalExpansion
+    # ------------------------------------------------------------------
+
+    def _scores(self) -> np.ndarray:
+        mid = 0.5 * (self._lb + self._ub)
+        if self.degree_weighted:
+            return mid * self.view.degrees_array()
+        return mid
+
+    def _select_expansion(self) -> np.ndarray:
+        boundary = np.flatnonzero(self.view.boundary_mask())
+        if len(boundary) == 0:
+            return boundary
+        scores = self._scores()[boundary]
+        batch = min(self.options.batch_size(self.view.size), len(boundary))
+        if batch < len(boundary):
+            # Pre-select the batch best with argpartition, then order the
+            # small batch deterministically (score desc, local id asc).
+            part = np.argpartition(-scores, batch - 1)[:batch]
+            boundary, scores = boundary[part], scores[part]
+        order = np.lexsort((boundary, -scores))
+        return boundary[order]
+
+    def _expand(self, locals_: np.ndarray) -> list[int]:
+        newly: list[int] = []
+        for local in locals_:
+            newly.extend(self.view.expand(int(local)))
+            self.stats.expansions += 1
+        grow = self.view.size - len(self._lb)
+        if grow > 0:
+            # Algorithm 4 line 3 / Algorithm 5 line 5: fresh nodes start
+            # at the trivial PHP bounds [0, 1].
+            self._lb = np.concatenate([self._lb, np.zeros(grow)])
+            self._ub = np.concatenate([self._ub, np.ones(grow)])
+        return newly
+
+    # ------------------------------------------------------------------
+    # Algorithms 4, 5 — bound refresh
+    # ------------------------------------------------------------------
+
+    def _update_bounds(self) -> None:
+        opts = self.options
+        m = self.view.size
+        e_lower = np.zeros(m)
+        e_lower[0] = 1.0  # e_q: the query is local id 0
+
+        if opts.tighten:
+            loop_locals, loop_probs, tight_mass = self.view.self_loop_terms(
+                self.decay
+            )
+            diag = np.zeros(m)
+            diag[loop_locals] = self.decay * loop_probs
+            dummy_probs = np.zeros(m)
+            dummy_probs[loop_locals] = tight_mass
+        else:
+            diag = None
+            dummy_probs = self.view.dummy_mass()
+
+        a = self.view.transition_operator(self.decay, diag)
+
+        self._lb, it_lb = jacobi_solve(
+            a,
+            e_lower,
+            self._lb,
+            tau=opts.tau,
+            max_iterations=opts.max_inner_iterations,
+        )
+        e_upper = e_lower + self.decay * dummy_probs * self._dummy_value
+        self._ub, it_ub = jacobi_solve(
+            a,
+            e_upper,
+            self._ub,
+            tau=opts.tau,
+            max_iterations=opts.max_inner_iterations,
+        )
+        self.stats.solver_iterations += it_lb + it_ub
+        # The bounds sandwich the same fixed point; keep them consistent
+        # against solver-tolerance noise.
+        np.minimum(self._lb, self._ub, out=self._lb)
+        # The query's proximity is the constant 1 by definition.
+        self._lb[0] = self._ub[0] = 1.0
+
+    # ------------------------------------------------------------------
+    # Algorithm 6 — CheckTerminationCriteria
+    # ------------------------------------------------------------------
+
+    def _eligible_mask(self, base: np.ndarray) -> np.ndarray:
+        mask = base.copy()
+        mask[0] = False  # the query itself
+        if self.exclude:
+            gids = self.view.global_ids()
+            for local, gid in enumerate(gids):
+                if int(gid) in self.exclude:
+                    mask[local] = False
+        return mask
+
+    def _check_termination(self) -> tuple[bool, np.ndarray]:
+        settled = self._eligible_mask(self.view.settled_mask())
+        candidates = np.flatnonzero(settled)
+        if len(candidates) < self.k:
+            return False, candidates
+
+        weights = (
+            self.view.degrees_array() if self.degree_weighted else None
+        )
+        lb_score = self._lb * weights if weights is not None else self._lb
+        ub_score = self._ub * weights if weights is not None else self._ub
+
+        cand_scores = lb_score[candidates]
+        if self.k < len(candidates):
+            part = np.argpartition(-cand_scores, self.k - 1)[: self.k]
+            pool, pool_scores = candidates[part], cand_scores[part]
+        else:
+            pool, pool_scores = candidates, cand_scores
+        order = np.lexsort((pool, -pool_scores))
+        top = pool[order[: self.k]]
+        min_top = float(lb_score[top].min()) + self.options.tie_epsilon
+
+        # Rivals: every visited node that could still displace a member
+        # of K — excluded nodes cannot, by definition of the query.
+        others = self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        others[top] = False
+        rest = np.flatnonzero(others)
+        if len(rest) and float(ub_score[rest].max()) > min_top:
+            return False, top
+
+        if self.degree_weighted:
+            # Second guard of Sec. 5.6: unvisited nodes satisfy
+            # w_i PHP(i) ≤ w(S̄) · max_{δS} PHP upper bound.
+            boundary = np.flatnonzero(self.view.boundary_mask())
+            if len(boundary):
+                w_out = self._max_unvisited_degree()
+                if w_out * float(self._ub[boundary].max()) > min_top:
+                    return False, top
+        return True, top
+
+    def _max_unvisited_degree(self) -> float:
+        if self._unvisited_degree_bound is not None:
+            return float(
+                self._unvisited_degree_bound(self.view)
+            )
+        return float(self.graph.max_degree)
+
+    # ------------------------------------------------------------------
+
+    def _finalize_exhausted(self, iteration: int) -> EngineOutcome:
+        # No boundary left: the dummy mass is zero everywhere, so lower
+        # and upper systems coincide; converge once more and rank.
+        self._update_bounds()
+        lb_score = (
+            self._lb * self.view.degrees_array()
+            if self.degree_weighted
+            else self._lb
+        )
+        candidates = np.flatnonzero(
+            self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        )
+        order = np.lexsort((candidates, -lb_score[candidates]))
+        top = candidates[order[: self.k]]
+        self.stats.visited_nodes = self.view.size
+        self.stats.neighbor_queries = self.view.neighbor_queries
+        if self.options.record_trace:
+            self._record(iteration, np.empty(0, np.int64), [], True)
+        return EngineOutcome(
+            view=self.view,
+            top_locals=top,
+            lower=self._lb.copy(),
+            upper=np.maximum(self._lb, self._ub),
+            exact=True,
+            exhausted_component=len(top) < self.k,
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+    def _record(
+        self,
+        iteration: int,
+        expanded: np.ndarray,
+        newly: list[int],
+        terminated: bool,
+    ) -> None:
+        gids = self.view.global_ids()
+        self.trace.append(
+            IterationSnapshot(
+                iteration=iteration,
+                expanded=tuple(int(gids[i]) for i in expanded),
+                newly_visited=tuple(newly),
+                lower={int(g): float(v) for g, v in zip(gids, self._lb)},
+                upper={int(g): float(v) for g, v in zip(gids, self._ub)},
+                dummy_value=self._dummy_value,
+                terminated=terminated,
+            )
+        )

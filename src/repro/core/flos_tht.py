@@ -1,0 +1,253 @@
+"""FLoS for L-truncated hitting time (paper Sec. 5 + Appendix 10.4).
+
+THT is a finite-horizon dynamic program rather than a stationary linear
+system, so it gets its own engine.  Structure mirrors
+:class:`repro.core.flos.PHPSpaceEngine` with the direction flipped
+(smaller = closer) and DP bound updates:
+
+* **lower bound** — reroute the boundary mass to a dummy node whose value
+  follows the *step-indexed* sequence
+
+      D⁰ = 0,   Dᵗ = 1 + min(Dᵗ⁻¹, min_{i ∈ δS} lbᵗ⁻¹_i)
+
+  computed alongside the DP.  This is the mirror image of Algorithm 5
+  line 7, adapted to the finite horizon: for a smaller-is-closer measure
+  the *lower* bound of non-top-k nodes is what must clear the
+  certificate, so the adaptive dummy goes on the lower side — and because
+  the DP at step ``t`` consumes continuation values at horizon ``t-1``
+  (which are smaller than full-horizon values), the dummy must be
+  per-step rather than a single constant.  Soundness is a joint
+  induction: every unvisited node's step-``t`` value is
+  ``1 + Σ p · (step t-1 values of its neighbors)``, its neighbors are
+  unvisited (≥ Dᵗ⁻¹ inductively) or on the boundary (≥ the DP's own
+  lbᵗ⁻¹), hence ≥ Dᵗ.  With ``D ≡ 0`` this degenerates to the plain
+  transition *deletion* of Appendix 10.4, which is also valid but lets
+  every freshly visited boundary node sit at ``lb ≈ 1`` and block
+  termination until the whole graph is visited;
+* **upper bound** — reroute the boundary mass to a dummy node pinned at
+  the maximal possible value ``L``; since every true continuation value
+  is at most ``L``, the result upper-bounds the true values.  Bounds are
+  additionally clamped at ``L``, the measure's range maximum.
+
+The DP runs exactly ``L`` steps from zero each iteration — that *is* the
+measure's definition, so no warm starting or tolerance is involved; with
+the paper's ``L = 10`` the refresh costs ten sparse mat-vecs.
+
+Termination inverts Algorithm 6: choose the ``k`` settled nodes with the
+*smallest* upper bound and stop when their maximum is at most every other
+visited node's lower bound.  By the no-local-minimum property (Lemma 7),
+unvisited nodes within the horizon are dominated by the boundary minimum
+(contained in "every other visited node"), and unvisited nodes beyond the
+horizon sit at exactly ``L``, which can never beat a certified top-k node
+whose upper bound is below ``L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flos import EngineOutcome, FLoSOptions
+from repro.core.iterative import finite_horizon_solve
+from repro.core.localgraph import LocalView
+from repro.core.result import IterationSnapshot, SearchStats
+from repro.errors import BudgetExceededError, SearchError
+from repro.graph.base import GraphAccess
+
+
+class THTEngine:
+    """FLoS for truncated hitting time with horizon ``L``."""
+
+    def __init__(
+        self,
+        graph: GraphAccess,
+        query: int,
+        k: int,
+        *,
+        horizon: int,
+        options: FLoSOptions | None = None,
+        exclude: frozenset[int] = frozenset(),
+    ):
+        if k < 1:
+            raise SearchError("k must be >= 1")
+        if horizon < 1:
+            raise SearchError("horizon must be >= 1")
+        self.graph = graph
+        self.query = query
+        self.k = k
+        self.horizon = int(horizon)
+        self.options = options or FLoSOptions()
+        self.exclude = exclude
+
+        # THT uses the plain deletion/dummy bounds of Appendix 10.4; the
+        # star-to-mesh tightening is specific to the decayed measures.
+        self.view = LocalView(graph, query, track_tightening=False)
+        self._lb = np.array([0.0])  # hitting time of q is 0 by definition
+        self._ub = np.array([0.0])
+        self.stats = SearchStats()
+        self.trace: list[IterationSnapshot] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> EngineOutcome:
+        opts = self.options
+        iteration = 0
+        while True:
+            iteration += 1
+            expanded = self._select_expansion()
+            if len(expanded) == 0:
+                return self._finalize_exhausted(iteration)
+            newly = self._expand(expanded)
+            if (
+                opts.max_visited is not None
+                and self.view.size > opts.max_visited
+            ):
+                raise BudgetExceededError(self.view.size, opts.max_visited)
+            self._update_bounds()
+            done, top_locals = self._check_termination()
+            if opts.record_trace:
+                self._record(iteration, expanded, newly, done)
+            if done:
+                self.stats.visited_nodes = self.view.size
+                self.stats.neighbor_queries = self.view.neighbor_queries
+                return EngineOutcome(
+                    view=self.view,
+                    top_locals=top_locals,
+                    lower=self._lb.copy(),
+                    upper=self._ub.copy(),
+                    exact=True,
+                    exhausted_component=False,
+                    stats=self.stats,
+                    trace=self.trace,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _select_expansion(self) -> np.ndarray:
+        boundary = np.flatnonzero(self.view.boundary_mask())
+        if len(boundary) == 0:
+            return boundary
+        # Best-first toward *small* hitting time.
+        scores = (0.5 * (self._lb + self._ub))[boundary]
+        batch = min(self.options.batch_size(self.view.size), len(boundary))
+        if batch < len(boundary):
+            part = np.argpartition(scores, batch - 1)[:batch]
+            boundary, scores = boundary[part], scores[part]
+        order = np.lexsort((boundary, scores))
+        return boundary[order]
+
+    def _expand(self, locals_: np.ndarray) -> list[int]:
+        newly: list[int] = []
+        for local in locals_:
+            newly.extend(self.view.expand(int(local)))
+            self.stats.expansions += 1
+        grow = self.view.size - len(self._lb)
+        if grow > 0:
+            # Trivial THT bounds for fresh nodes: [0, L].
+            self._lb = np.concatenate([self._lb, np.zeros(grow)])
+            self._ub = np.concatenate(
+                [self._ub, np.full(grow, float(self.horizon))]
+            )
+        return newly
+
+    def _update_bounds(self) -> None:
+        t_s = self.view.transition_operator()
+        m = self.view.size
+        mass = self.view.dummy_mass()
+        boundary = np.flatnonzero(self.view.boundary_mask())
+        e = np.ones(m)
+        e[0] = 0.0  # the query's hitting time is identically zero
+
+        # Lower bound: L DP steps with the step-indexed dummy sequence
+        # D^t (module docstring) multiplying the boundary-crossing mass.
+        lb = np.zeros(m)
+        dummy = 0.0
+        for _ in range(self.horizon):
+            step_min = (
+                float(lb[boundary].min()) if len(boundary) else np.inf
+            )
+            nxt = (t_s @ lb) + e + mass * dummy
+            nxt[0] = 0.0
+            dummy = 1.0 + min(dummy, step_min)
+            lb = nxt
+        self._lb = lb
+
+        e_upper = e + mass * float(self.horizon)
+        e_upper[0] = 0.0
+        ub = finite_horizon_solve(t_s, e_upper, self.horizon)
+        np.minimum(ub, float(self.horizon), out=ub)
+        self._ub = ub
+        np.maximum(self._lb, 0.0, out=self._lb)
+        np.minimum(self._lb, self._ub, out=self._lb)
+        self.stats.solver_iterations += 2 * self.horizon
+
+    def _eligible_mask(self, base: np.ndarray) -> np.ndarray:
+        mask = base.copy()
+        mask[0] = False
+        if self.exclude:
+            for local, gid in enumerate(self.view.global_ids()):
+                if int(gid) in self.exclude:
+                    mask[local] = False
+        return mask
+
+    def _check_termination(self) -> tuple[bool, np.ndarray]:
+        settled = self._eligible_mask(self.view.settled_mask())
+        candidates = np.flatnonzero(settled)
+        if len(candidates) < self.k:
+            return False, candidates
+        cand_scores = self._ub[candidates]
+        if self.k < len(candidates):
+            part = np.argpartition(cand_scores, self.k - 1)[: self.k]
+            pool, pool_scores = candidates[part], cand_scores[part]
+        else:
+            pool, pool_scores = candidates, cand_scores
+        order = np.lexsort((pool, pool_scores))
+        top = pool[order[: self.k]]
+        max_top = float(self._ub[top].max()) - self.options.tie_epsilon
+        others = self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        others[top] = False
+        rest = np.flatnonzero(others)
+        if len(rest) and float(self._lb[rest].min()) < max_top:
+            return False, top
+        return True, top
+
+    def _finalize_exhausted(self, iteration: int) -> EngineOutcome:
+        self._update_bounds()
+        candidates = np.flatnonzero(
+            self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        )
+        order = np.lexsort((candidates, self._ub[candidates]))
+        top = candidates[order[: self.k]]
+        self.stats.visited_nodes = self.view.size
+        self.stats.neighbor_queries = self.view.neighbor_queries
+        if self.options.record_trace:
+            self._record(iteration, np.empty(0, np.int64), [], True)
+        return EngineOutcome(
+            view=self.view,
+            top_locals=top,
+            lower=self._lb.copy(),
+            upper=np.maximum(self._lb, self._ub),
+            exact=True,
+            exhausted_component=len(top) < self.k,
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+    def _record(
+        self,
+        iteration: int,
+        expanded: np.ndarray,
+        newly: list[int],
+        terminated: bool,
+    ) -> None:
+        gids = self.view.global_ids()
+        self.trace.append(
+            IterationSnapshot(
+                iteration=iteration,
+                expanded=tuple(int(gids[i]) for i in expanded),
+                newly_visited=tuple(newly),
+                lower={int(g): float(v) for g, v in zip(gids, self._lb)},
+                upper={int(g): float(v) for g, v in zip(gids, self._ub)},
+                dummy_value=float(self.horizon),
+                terminated=terminated,
+            )
+        )

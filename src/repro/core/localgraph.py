@@ -1,0 +1,330 @@
+"""Bookkeeping of the visited subgraph during local search.
+
+``LocalView`` maintains, incrementally as nodes are visited, everything the
+bound computations of paper Sec. 4–5 need:
+
+* the visited set ``S`` with a global↔local id mapping;
+* the directed transition edges *within* ``S`` (appended as they are
+  restored — Theorem 4 guarantees restoration only tightens bounds, so the
+  edge set is append-only);
+* per visited node, the residual transition mass to unvisited neighbors
+  (the ``T_{i,d}`` dummy column of Algorithm 5);
+* the boundary ``δS`` (visited nodes with at least one unvisited neighbor);
+* when tightening is enabled, the star-to-mesh self-loop sums of Sec. 5.3,
+  maintained *incrementally*: a node's sums only change when one of its
+  neighbors is visited, so each restored edge costs O(1) instead of
+  rescanning the whole boundary every iteration.
+
+Transition probabilities always use the node's **full** degree in the
+original graph — deleting a transition probability is *not* deleting an
+edge and never renormalizes the rest (paper Sec. 4.1).  This also gives a
+search-free identity used throughout: for an undirected edge,
+``p_{v,u} = w_uv / w_v = p_{u,v} · w_u / w_v``.
+
+Everything lives in growing numpy buffers so per-iteration matrix assembly
+is vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.base import GraphAccess
+
+_INITIAL_CAPACITY = 64
+
+
+class _GrowingBuffer:
+    """Append-only numpy buffer with capacity doubling."""
+
+    def __init__(self, dtype):
+        self._data = np.empty(_INITIAL_CAPACITY, dtype=dtype)
+        self._size = 0
+
+    def append(self, values: np.ndarray) -> None:
+        need = self._size + len(values)
+        if need > len(self._data):
+            new_cap = max(need, 2 * len(self._data))
+            grown = np.empty(new_cap, dtype=self._data.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size : need] = values
+        self._size = need
+
+    def append_scalar(self, value) -> None:
+        if self._size == len(self._data):
+            grown = np.empty(2 * len(self._data), dtype=self._data.dtype)
+            grown[: self._size] = self._data
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The underlying buffer (over-allocated); for in-place updates."""
+        return self._data
+
+    def view(self) -> np.ndarray:
+        return self._data[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class LocalView:
+    """Incrementally maintained visited subgraph around a query node."""
+
+    def __init__(
+        self,
+        graph: GraphAccess,
+        query: int,
+        *,
+        track_tightening: bool = True,
+    ):
+        graph.validate_node(query)
+        self.graph = graph
+        self.query = query
+        self.track_tightening = track_tightening
+
+        self._local_of: dict[int, int] = {}
+        self._global_of: list[int] = []
+
+        # Cached full adjacency of each visited node (global ids / probs).
+        self._adj_ids: list[np.ndarray] = []
+        self._adj_probs: list[np.ndarray] = []
+        self._degrees = _GrowingBuffer(np.float64)
+
+        # Directed transition edges within S, in local ids.  Row ``query``
+        # is never stored: the modified matrix T zeroes it (Table 1).
+        self._rows = _GrowingBuffer(np.int64)
+        self._cols = _GrowingBuffer(np.int64)
+        self._probs = _GrowingBuffer(np.float64)
+
+        # Residual transition mass to unvisited neighbors, per local node.
+        self._dummy_mass = _GrowingBuffer(np.float64)
+        # Count of unvisited neighbors, per local node (δS membership).
+        self._unvisited_count = _GrowingBuffer(np.int64)
+
+        # Star-to-mesh sums (Sec. 5.3), *without* the decay factor:
+        #   loop_sum[i]  = Σ_{j ∈ N_i unvisited} p_{i,j} p_{j,i}
+        #   tight_sum[i] = Σ_{j ∈ N_i unvisited} p_{i,j} (1 - p_{j,i})
+        self._loop_sum = _GrowingBuffer(np.float64)
+        self._tight_sum = _GrowingBuffer(np.float64)
+
+        # Degrees of seen-but-unvisited nodes (needed for p_{j,i}).
+        self._outside_degree: dict[int, float] = {}
+
+        self.neighbor_queries = 0
+        self._visit(query)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """|S| — number of visited nodes."""
+        return len(self._global_of)
+
+    def is_visited(self, node: int) -> bool:
+        return node in self._local_of
+
+    def local_id(self, node: int) -> int:
+        return self._local_of[node]
+
+    def global_ids(self) -> np.ndarray:
+        return np.array(self._global_of, dtype=np.int64)
+
+    def local_degree(self, local: int) -> float:
+        """Weighted degree (in the *full* graph) of a visited node."""
+        return float(self._degrees.view()[local])
+
+    def degrees_array(self) -> np.ndarray:
+        return self._degrees.view()
+
+    def dummy_mass(self) -> np.ndarray:
+        """Residual transition mass ``T_{i,d}`` per visited node (local)."""
+        return self._dummy_mass.view()
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask over local ids: True for nodes in ``δS``."""
+        return self._unvisited_count.view() > 0
+
+    def settled_mask(self) -> np.ndarray:
+        """Mask of nodes in ``S \\ δS`` — every neighbor already visited."""
+        return self._unvisited_count.view() == 0
+
+    def adjacency(self, local: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(neighbor_global_ids, transition_probs)`` of a visited node."""
+        return self._adj_ids[local], self._adj_probs[local]
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def expand(self, local: int) -> list[int]:
+        """Visit all unvisited neighbors of a visited node (Algorithm 3).
+
+        Returns the newly visited nodes (global ids).
+        """
+        ids, _ = self.adjacency(local)
+        new_nodes = [int(v) for v in ids if v not in self._local_of]
+        for v in new_nodes:
+            self._visit(v)
+        return new_nodes
+
+    # ------------------------------------------------------------------
+    # Matrix assembly
+    # ------------------------------------------------------------------
+
+    def transition_csr(self) -> sp.csr_matrix:
+        """Sparse ``T_S``: transitions within S, query row zeroed."""
+        m = self.size
+        return sp.csr_matrix(
+            (self._probs.view(), (self._rows.view(), self._cols.view())),
+            shape=(m, m),
+        )
+
+    def transition_operator(self, scale: float = 1.0, diag=None):
+        """Matrix-free ``scale · T_S`` (plus optional diagonal).
+
+        Avoids the O(E log E) CSR assembly that would otherwise be paid
+        on every bound refresh; see
+        :class:`repro.core.iterative.CooOperator`.
+        """
+        from repro.core.iterative import CooOperator
+
+        vals = self._probs.view()
+        if scale != 1.0:
+            vals = scale * vals
+        return CooOperator(
+            self._rows.view(), self._cols.view(), vals, self.size, diag
+        )
+
+    def self_loop_terms(
+        self, decay: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Star-to-mesh self-loop tightening terms (Sec. 5.3).
+
+        Returns ``(locals, loop_probs, tight_dummy_mass)`` for boundary
+        nodes ``i ∈ δS`` (query excluded):
+
+        * ``loop_probs  = decay · Σ_{j ∈ N_i ∩ δS̄} p_{i,j} p_{j,i}``
+          — the self-loop of Lemmas 3 and 4;
+        * ``tight_dummy_mass = decay · Σ_{j} p_{i,j} (1 - p_{j,i})``
+          — the reduced dummy transition of Lemma 4 (upper bound only;
+          the lower bound keeps its dummy at proximity zero).
+        """
+        if not self.track_tightening:
+            raise RuntimeError(
+                "self-loop terms requested but track_tightening is off"
+            )
+        mask = self.boundary_mask().copy()
+        mask[0] = False  # the query row of T stays zero
+        locals_out = np.flatnonzero(mask)
+        loops = decay * np.maximum(self._loop_sum.view()[locals_out], 0.0)
+        tight = decay * np.maximum(self._tight_sum.view()[locals_out], 0.0)
+        return locals_out, loops, tight
+
+    # ------------------------------------------------------------------
+
+    def _visit(self, node: int) -> None:
+        local = len(self._global_of)
+        self._local_of[node] = local
+        self._global_of.append(node)
+
+        ids, probs = self.graph.transition_probabilities(node)
+        self.neighbor_queries += 1
+        self._adj_ids.append(ids)
+        self._adj_probs.append(probs)
+        w_u = self.graph.degree(node)
+        self._degrees.append_scalar(w_u)
+        self._outside_degree.pop(node, None)
+
+        local_of = self._local_of
+        visited_locals = np.fromiter(
+            (local_of.get(int(v), -1) for v in ids),
+            dtype=np.int64,
+            count=len(ids),
+        )
+        inside = visited_locals >= 0
+
+        # Outgoing transitions of the new node into S (skip if node is q:
+        # the query row of T stays zero).
+        if node != self.query and inside.any():
+            count = int(inside.sum())
+            self._rows.append(np.full(count, local, dtype=np.int64))
+            self._cols.append(visited_locals[inside])
+            self._probs.append(probs[inside])
+
+        # Incoming transitions from already-visited neighbors — the
+        # "restoration" step of Sec. 5.2.  No adjacency search is needed:
+        # by symmetry of edge weights, p_{v,u} = p_{u,v} · w_u / w_v.
+        degrees = self._degrees.raw
+        dummy = self._dummy_mass.raw
+        counts = self._unvisited_count.raw
+        loop_sum = self._loop_sum.raw
+        tight_sum = self._tight_sum.raw
+        track = self.track_tightening
+        for idx in np.flatnonzero(inside):
+            v_local = int(visited_locals[idx])
+            p_uv = float(probs[idx])
+            w_v = float(degrees[v_local])
+            p_vu = p_uv * w_u / w_v if w_v > 0 else 0.0
+            if self._global_of[v_local] != self.query:
+                self._rows.append_scalar(v_local)
+                self._cols.append_scalar(local)
+                self._probs.append_scalar(p_vu)
+            dummy[v_local] = max(dummy[v_local] - p_vu, 0.0)
+            counts[v_local] -= 1
+            if track:
+                # u left v's unvisited neighborhood: retract its
+                # contribution to v's star-to-mesh sums.
+                loop_sum[v_local] -= p_vu * p_uv
+                tight_sum[v_local] -= p_vu * (1.0 - p_uv)
+
+        # The new node's own dummy mass, unvisited count, and sums.
+        outside = ~inside
+        outside_mass = float(probs[outside].sum())
+        outside_count = int(outside.sum())
+        if node == self.query:
+            outside_mass = 0.0  # query row of T is zero: no dummy column
+        self._dummy_mass.append_scalar(outside_mass)
+        self._unvisited_count.append_scalar(outside_count)
+
+        if track and outside_count and node != self.query:
+            out_ids = ids[outside]
+            out_probs = probs[outside]
+            w_j = self._degrees_of_outside(out_ids)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_ju = np.where(w_j > 0, out_probs * (w_u / w_j), 0.0)
+            self._loop_sum.append_scalar(float((out_probs * p_ju).sum()))
+            self._tight_sum.append_scalar(
+                float((out_probs * (1.0 - p_ju)).sum())
+            )
+        else:
+            self._loop_sum.append_scalar(0.0)
+            self._tight_sum.append_scalar(0.0)
+
+    def _degrees_of_outside(self, gids: np.ndarray) -> np.ndarray:
+        """Degrees of seen-but-unvisited nodes, cached across calls.
+
+        For in-memory graphs this is one vectorised array lookup; for disk
+        graphs it caches so each outside node's degree record is read once.
+        """
+        from repro.graph.memory import CSRGraph
+
+        if isinstance(self.graph, CSRGraph):
+            return self.graph.degrees_of(gids)
+        cache = self._outside_degree
+        graph = self.graph
+        out = np.empty(len(gids), dtype=np.float64)
+        for i, gid in enumerate(gids):
+            gid = int(gid)
+            w = cache.get(gid)
+            if w is None:
+                w = graph.degree(gid)
+                cache[gid] = w
+            out[i] = w
+        return out

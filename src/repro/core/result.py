@@ -1,0 +1,92 @@
+"""Result and statistics containers returned by every search algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SearchStats:
+    """Work counters common to all top-k algorithms.
+
+    ``visited_nodes`` is ``|S|`` in the paper's notation — the number of
+    nodes whose neighbor lists were fetched plus those discovered on the
+    boundary.  The visited-node *ratio* of Figure 9 / 13 is
+    ``visited_nodes / graph.num_nodes``.
+    """
+
+    visited_nodes: int = 0
+    expansions: int = 0
+    solver_iterations: int = 0
+    neighbor_queries: int = 0
+    wall_time_seconds: float = 0.0
+
+    def visited_ratio(self, num_nodes: int) -> float:
+        return self.visited_nodes / num_nodes if num_nodes else 0.0
+
+
+@dataclass
+class IterationSnapshot:
+    """One FLoS iteration recorded when tracing is enabled (Figure 4)."""
+
+    iteration: int
+    expanded: tuple[int, ...]
+    newly_visited: tuple[int, ...]
+    lower: dict[int, float]
+    upper: dict[int, float]
+    dummy_value: float
+    terminated: bool
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a top-k proximity query.
+
+    ``nodes`` are ordered closest first.  ``values`` hold the measure's
+    native proximity (point estimates); ``lower`` / ``upper`` hold native
+    value bounds when the algorithm produces them (exact local search),
+    and equal ``values`` for methods that compute proximity directly.
+    """
+
+    query: int
+    k: int
+    measure_name: str
+    nodes: np.ndarray
+    values: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    exact: bool
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: True when the search exhausted the query's connected component and
+    #: had to pad/truncate (fewer reachable nodes than ``k``).
+    exhausted_component: bool = False
+    #: Per-iteration bound snapshots (only when tracing was requested).
+    trace: list[IterationSnapshot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.lower = np.asarray(self.lower, dtype=np.float64)
+        self.upper = np.asarray(self.upper, dtype=np.float64)
+
+    def as_dict(self) -> dict[int, float]:
+        """``{node: value}`` mapping."""
+        return {int(n): float(v) for n, v in zip(self.nodes, self.values)}
+
+    def node_set(self) -> set[int]:
+        return {int(n) for n in self.nodes}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(
+            f"{int(n)}:{v:.4g}" for n, v in zip(self.nodes[:5], self.values[:5])
+        )
+        suffix = ", ..." if len(self.nodes) > 5 else ""
+        return (
+            f"TopKResult({self.measure_name}, q={self.query}, k={self.k}, "
+            f"exact={self.exact}, [{pairs}{suffix}])"
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type at an API boundary without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid or an operation on it is illegal."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id is outside the graph's node range."""
+
+    def __init__(self, node: int, num_nodes: int):
+        super().__init__(
+            f"node {node} does not exist (graph has nodes 0..{num_nodes - 1})"
+        )
+        self.node = node
+        self.num_nodes = num_nodes
+
+
+class DiskFormatError(GraphError):
+    """A disk-resident graph file is corrupt or has the wrong format."""
+
+
+class MeasureError(ReproError):
+    """A proximity measure was configured with invalid parameters."""
+
+
+class SearchError(ReproError):
+    """A top-k search could not be completed."""
+
+
+class ConvergenceError(SearchError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, iterations: int, residual: float, tol: float):
+        super().__init__(
+            f"iterative solver did not converge after {iterations} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})"
+        )
+        self.iterations = iterations
+        self.residual = residual
+        self.tol = tol
+
+
+class BudgetExceededError(SearchError):
+    """A search exceeded its visited-node budget before it could terminate."""
+
+    def __init__(self, visited: int, budget: int):
+        super().__init__(
+            f"search visited {visited} nodes, exceeding its budget of {budget} "
+            "before the termination criterion was met"
+        )
+        self.visited = visited
+        self.budget = budget

@@ -1,0 +1,15 @@
+"""Graph substrates: in-memory CSR, disk-resident store, generators, IO."""
+
+from repro.graph.base import GraphAccess
+from repro.graph.builder import GraphBuilder
+from repro.graph.memory import CSRGraph
+from repro.graph.stats import GraphStats, degree_histogram, graph_stats
+
+__all__ = [
+    "GraphAccess",
+    "GraphBuilder",
+    "CSRGraph",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+]

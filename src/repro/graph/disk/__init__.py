@@ -1,0 +1,22 @@
+"""Disk-resident graph store — the library's Neo4j substitute (Sec. 6.4).
+
+The paper runs FLoS on graphs too large for memory by storing them in
+Neo4j 2.0 and *only* calling its neighbor-query primitive, with memory
+restricted to 2 GB.  This package reproduces that setting with a paged
+binary adjacency file:
+
+* :mod:`format` — on-disk layout (header, index region, data regions);
+* :mod:`writer` — build a store file from any in-memory graph;
+* :mod:`cache` — byte-budgeted LRU page cache;
+* :mod:`store` — :class:`DiskGraph`, a :class:`~repro.graph.base.GraphAccess`
+  whose every neighbor query goes through the page cache to real file IO.
+
+Because FLoS (and every other local method here) consumes only the
+``GraphAccess`` interface, the same search code runs unchanged against the
+disk store, exactly as in the paper.
+"""
+
+from repro.graph.disk.store import DiskGraph
+from repro.graph.disk.writer import write_disk_graph
+
+__all__ = ["DiskGraph", "write_disk_graph"]

@@ -1,0 +1,105 @@
+"""On-disk layout of the paged graph store.
+
+File layout (little endian)::
+
+    [ header: 64 bytes                               ]
+    [ index region : (num_nodes + 1) * u64 offsets   ]  entry counts, prefix sums
+    [ degree region: num_nodes * f64 weighted degrees]
+    [ indices region: total_entries * i64            ]  neighbor ids, CSR order
+    [ weights region: total_entries * f64 (optional) ]  absent when unweighted
+
+``total_entries`` is ``2 * num_edges`` (each undirected edge stored in both
+endpoint rows).  The index region stores the CSR ``indptr`` array.  All
+regions after the header are read through the page cache; nothing except
+the 64-byte header needs to reside in memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DiskFormatError
+
+MAGIC = b"FLOSDG01"
+HEADER_SIZE = 64
+HEADER_STRUCT = struct.Struct("<8sQQIIdQ")  # magic, n, entries, page, flags, maxdeg, reserved
+FLAG_WEIGHTED = 1
+
+INDEX_ENTRY = 8  # u64
+DEGREE_ENTRY = 8  # f64
+INDICES_ENTRY = 8  # i64
+WEIGHTS_ENTRY = 8  # f64
+
+DEFAULT_PAGE_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded store header."""
+
+    num_nodes: int
+    total_entries: int
+    page_size: int
+    flags: int
+    max_degree: float
+
+    @property
+    def weighted(self) -> bool:
+        return bool(self.flags & FLAG_WEIGHTED)
+
+    @property
+    def num_edges(self) -> int:
+        return self.total_entries // 2
+
+    # Region byte offsets -------------------------------------------------
+
+    @property
+    def index_offset(self) -> int:
+        return HEADER_SIZE
+
+    @property
+    def degree_offset(self) -> int:
+        return self.index_offset + (self.num_nodes + 1) * INDEX_ENTRY
+
+    @property
+    def indices_offset(self) -> int:
+        return self.degree_offset + self.num_nodes * DEGREE_ENTRY
+
+    @property
+    def weights_offset(self) -> int:
+        return self.indices_offset + self.total_entries * INDICES_ENTRY
+
+    @property
+    def file_size(self) -> int:
+        end = self.weights_offset
+        if self.weighted:
+            end += self.total_entries * WEIGHTS_ENTRY
+        return end
+
+    def pack(self) -> bytes:
+        raw = HEADER_STRUCT.pack(
+            MAGIC,
+            self.num_nodes,
+            self.total_entries,
+            self.page_size,
+            self.flags,
+            self.max_degree,
+            0,
+        )
+        return raw.ljust(HEADER_SIZE, b"\0")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Header":
+        if len(raw) < HEADER_STRUCT.size:
+            raise DiskFormatError("file too short to hold a header")
+        magic, n, entries, page, flags, maxdeg, _ = HEADER_STRUCT.unpack(
+            raw[: HEADER_STRUCT.size]
+        )
+        if magic != MAGIC:
+            raise DiskFormatError(f"bad magic {magic!r}; not a FLoS disk graph")
+        if entries % 2 != 0:
+            raise DiskFormatError("entry count must be even (undirected)")
+        if page <= 0:
+            raise DiskFormatError("page size must be positive")
+        return cls(n, entries, page, flags, maxdeg)

@@ -1,0 +1,171 @@
+"""Disk-resident :class:`~repro.graph.base.GraphAccess` implementation.
+
+``DiskGraph`` answers neighbor queries by reading byte ranges of the store
+file through an :class:`~repro.graph.disk.cache.LRUPageCache`.  Nothing but
+the 64-byte header and the bounded cache lives in memory, so graphs far
+larger than RAM can be searched — the setting of the paper's Sec. 6.4.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from types import TracebackType
+
+import numpy as np
+
+from repro.errors import DiskFormatError
+from repro.graph.base import GraphAccess
+from repro.graph.disk.cache import CacheStats, LRUPageCache
+from repro.graph.disk.format import (
+    DEGREE_ENTRY,
+    HEADER_SIZE,
+    INDEX_ENTRY,
+    INDICES_ENTRY,
+    WEIGHTS_ENTRY,
+    Header,
+)
+
+#: Default in-memory budget for the page cache: 64 MiB, a scaled-down
+#: analogue of the paper's 2 GB cap on ~13 GB graphs.
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+
+class DiskGraph(GraphAccess):
+    """Read-only paged graph store.
+
+    Use as a context manager or call :meth:`close` explicitly::
+
+        with DiskGraph("graph.flos") as g:
+            ids, weights = g.neighbors(42)
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    ):
+        self._path = Path(path)
+        self._fh = self._path.open("rb")
+        raw = self._fh.read(HEADER_SIZE)
+        try:
+            self._header = Header.unpack(raw)
+        except DiskFormatError:
+            self._fh.close()
+            raise
+        actual = self._path.stat().st_size
+        if actual < self._header.file_size:
+            self._fh.close()
+            raise DiskFormatError(
+                f"{self._path} truncated: {actual} bytes < expected "
+                f"{self._header.file_size}"
+            )
+        self._cache = LRUPageCache(
+            self._fh, self._header.page_size, memory_budget
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # GraphAccess interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._header.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._header.num_edges
+
+    @property
+    def max_degree(self) -> float:
+        return self._header.max_degree
+
+    def neighbors(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        self._check_open()
+        self.validate_node(u)
+        lo, hi = self._row_range(u)
+        count = hi - lo
+        if count == 0:
+            empty = np.empty(0)
+            return empty.astype(np.int64), empty.astype(np.float64)
+        raw = self._cache.read(
+            self._header.indices_offset + lo * INDICES_ENTRY,
+            count * INDICES_ENTRY,
+        )
+        ids = np.frombuffer(raw, dtype="<i8").astype(np.int64)
+        if self._header.weighted:
+            raw_w = self._cache.read(
+                self._header.weights_offset + lo * WEIGHTS_ENTRY,
+                count * WEIGHTS_ENTRY,
+            )
+            weights = np.frombuffer(raw_w, dtype="<f8").astype(np.float64)
+        else:
+            weights = np.ones(count, dtype=np.float64)
+        return ids, weights
+
+    def degree(self, u: int) -> float:
+        self._check_open()
+        self.validate_node(u)
+        raw = self._cache.read(
+            self._header.degree_offset + u * DEGREE_ENTRY, DEGREE_ENTRY
+        )
+        return float(np.frombuffer(raw, dtype="<f8")[0])
+
+    def out_degree(self, u: int) -> int:
+        self._check_open()
+        self.validate_node(u)
+        lo, hi = self._row_range(u)
+        return hi - lo
+
+    # ------------------------------------------------------------------
+    # IO bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """IO counters of the underlying page cache."""
+        return self._cache.stats
+
+    def drop_cache(self) -> None:
+        """Evict every cached page — benchmarks call this between queries
+        to model a cold-ish cache."""
+        self._cache.clear()
+
+    @property
+    def file_size(self) -> int:
+        """On-disk size in bytes (the 'disk size' column of Table 7)."""
+        return self._header.file_size
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "DiskGraph":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _row_range(self, u: int) -> tuple[int, int]:
+        raw = self._cache.read(
+            self._header.index_offset + u * INDEX_ENTRY, 2 * INDEX_ENTRY
+        )
+        lo, hi = np.frombuffer(raw, dtype="<u8")
+        if hi < lo or hi > self._header.total_entries:
+            raise DiskFormatError(
+                f"corrupt index entry for node {u}: [{lo}, {hi})"
+            )
+        return int(lo), int(hi)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DiskFormatError("store is closed")

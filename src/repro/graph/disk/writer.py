@@ -1,0 +1,47 @@
+"""Serialise an in-memory graph into the paged disk-store format."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.disk.format import (
+    DEFAULT_PAGE_SIZE,
+    FLAG_WEIGHTED,
+    Header,
+)
+from repro.graph.memory import CSRGraph
+
+
+def write_disk_graph(
+    graph: CSRGraph,
+    path: str | Path,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    force_weighted: bool = False,
+) -> Header:
+    """Write ``graph`` to ``path`` in disk-store format and return the header.
+
+    When every edge weight is exactly 1.0 (and ``force_weighted`` is false)
+    the weights region is omitted; readers synthesise unit weights.
+    """
+    weights = graph._weights
+    weighted = force_weighted or bool(len(weights)) and not np.all(weights == 1.0)
+    flags = FLAG_WEIGHTED if weighted else 0
+    header = Header(
+        num_nodes=graph.num_nodes,
+        total_entries=len(graph._indices),
+        page_size=page_size,
+        flags=flags,
+        max_degree=graph.max_degree,
+    )
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(header.pack())
+        fh.write(np.ascontiguousarray(graph._indptr, dtype="<u8").tobytes())
+        fh.write(np.ascontiguousarray(graph.degrees, dtype="<f8").tobytes())
+        fh.write(np.ascontiguousarray(graph._indices, dtype="<i8").tobytes())
+        if weighted:
+            fh.write(np.ascontiguousarray(weights, dtype="<f8").tobytes())
+    return header

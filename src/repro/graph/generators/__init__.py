@@ -1,0 +1,40 @@
+"""Synthetic graph generators used by the paper's evaluation (Sec. 6.3).
+
+* :func:`erdos_renyi` — the RAND model [Erdős & Rényi 1960].
+* :func:`rmat` — the R-MAT recursive model [Chakrabarti et al. 2004] with
+  GTgraph's default parameters.
+* :func:`paper_example_graph` — the 8-node graph of the paper's Figure 1.
+* structured helpers (path, cycle, star, complete, grid, tree) for tests.
+* :func:`community_graph` — planted-partition graphs for dataset stand-ins.
+"""
+
+from repro.graph.generators.erdos_renyi import erdos_renyi
+from repro.graph.generators.rmat import rmat, RMATParams
+from repro.graph.generators.chung_lu import chung_lu
+from repro.graph.generators.community import community_graph
+from repro.graph.generators.small_world import watts_strogatz
+from repro.graph.generators.toy import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "RMATParams",
+    "chung_lu",
+    "community_graph",
+    "watts_strogatz",
+    "paper_example_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_tree",
+]

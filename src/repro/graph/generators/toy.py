@@ -1,0 +1,121 @@
+"""Small structured graphs for tests, docs, and the paper's running example.
+
+:func:`paper_example_graph` is the 8-node graph of the paper's Figure 1,
+reconstructed from every constraint the text states:
+
+* node 3 has weighted degree 3 with ``p_{3,4} = p_{3,5} = 1/3`` (Secs. 3.2, 4.3);
+* node 4 has ``p_{4,6} = p_{4,7} = 1/4``, hence degree 4 (Sec. 4.3);
+* with ``S = {1,2,3,4}``: ``δS = {3,4}`` and ``δS̄ = {5,6,7}`` (Sec. 3.1),
+  so node 8 has no neighbor inside S;
+* the FLoS expansion from q = 1 visits ``{2,3}, {4}, {5}, {6,7}, {8}``
+  (Table 3), fixing ``N_1 = {2,3}``, ``N_2 = {1,4}``;
+* after iteration 3 the boundary is ``{4,5}`` and the unvisited set is
+  ``{6,7,8}`` (Figure 4), so node 5's only unvisited neighbor then is 6.
+
+The unique simple graph satisfying all of these (up to relabelling inside
+``{6,7,8}``) has edges::
+
+    1-2, 1-3, 2-4, 3-4, 3-5, 4-6, 4-7, 5-6, 6-8, 7-8
+
+``tests/test_paper_example.py`` verifies that FLoS on this graph reproduces
+Table 3's expansion order and Figure 4's termination at iteration 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.memory import CSRGraph
+
+#: Edges of the paper's Figure 1 graph, using the paper's 1-based labels.
+PAPER_EXAMPLE_EDGES_1BASED: tuple[tuple[int, int], ...] = (
+    (1, 2),
+    (1, 3),
+    (2, 4),
+    (3, 4),
+    (3, 5),
+    (4, 6),
+    (4, 7),
+    (5, 6),
+    (6, 8),
+    (7, 8),
+)
+
+
+def paper_example_graph() -> CSRGraph:
+    """The 8-node example graph of the paper's Figure 1 (0-based node ids).
+
+    Paper node ``i`` is library node ``i - 1``; the query node of the
+    running example is therefore node 0.
+    """
+    edges = np.array(PAPER_EXAMPLE_EDGES_1BASED, dtype=np.int64) - 1
+    return CSRGraph.from_edges(8, edges)
+
+
+def path_graph(n: int, *, weights: np.ndarray | None = None) -> CSRGraph:
+    """Path 0-1-2-...-(n-1)."""
+    if n < 1:
+        raise GraphError("path graph needs at least one node")
+    edges = np.stack(
+        [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)],
+        axis=1,
+    )
+    return CSRGraph.from_edges(n, edges, weights)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("cycle graph needs at least three nodes")
+    u = np.arange(n, dtype=np.int64)
+    edges = np.stack([u, (u + 1) % n], axis=1)
+    return CSRGraph.from_edges(n, edges)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Star with hub 0 and ``n_leaves`` leaves."""
+    if n_leaves < 1:
+        raise GraphError("star graph needs at least one leaf")
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    edges = np.stack([np.zeros_like(leaves), leaves], axis=1)
+    return CSRGraph.from_edges(n_leaves + 1, edges)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph on ``n >= 2`` nodes."""
+    if n < 2:
+        raise GraphError("complete graph needs at least two nodes")
+    u, v = np.triu_indices(n, k=1)
+    edges = np.stack([u.astype(np.int64), v.astype(np.int64)], axis=1)
+    return CSRGraph.from_edges(n, edges)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """4-neighbor grid with ``rows * cols`` nodes."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                edges.append((u, u + 1))
+            if r + 1 < rows:
+                edges.append((u, u + cols))
+    return CSRGraph.from_edges(rows * cols, np.array(edges, dtype=np.int64))
+
+
+def random_tree(n: int, *, seed: int | None = None) -> CSRGraph:
+    """Uniform random recursive tree on ``n`` nodes (always connected)."""
+    if n < 1:
+        raise GraphError("tree needs at least one node")
+    if n == 1:
+        return CSRGraph.from_edges(1, np.empty((0, 2), dtype=np.int64))
+    rng = np.random.default_rng(seed)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = np.array(
+        [rng.integers(0, c) for c in children], dtype=np.int64
+    )
+    edges = np.stack([parents, children], axis=1)
+    return CSRGraph.from_edges(n, edges)

@@ -1,0 +1,6 @@
+"""Graph serialisation: SNAP-style text edge lists and fast npz binaries."""
+
+from repro.graph.io.edgelist import read_edgelist, write_edgelist
+from repro.graph.io.binary import load_npz, save_npz
+
+__all__ = ["read_edgelist", "write_edgelist", "load_npz", "save_npz"]

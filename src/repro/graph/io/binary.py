@@ -1,0 +1,38 @@
+"""Fast binary graph persistence via numpy ``.npz`` archives.
+
+Benchmarks cache generated graphs on disk between runs; ``npz`` round-trips
+the CSR arrays directly and is two orders of magnitude faster than parsing
+text edge lists.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DiskFormatError
+from repro.graph.memory import CSRGraph
+
+_FORMAT_TAG = "repro-csr-v1"
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Persist a CSR graph to an ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        format=np.array(_FORMAT_TAG),
+        indptr=graph._indptr,
+        indices=graph._indices,
+        weights=graph._weights,
+    )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a CSR graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        if "format" not in data or str(data["format"]) != _FORMAT_TAG:
+            raise DiskFormatError(f"{path} is not a {_FORMAT_TAG} archive")
+        return CSRGraph(
+            data["indptr"], data["indices"], data["weights"], _validated=True
+        )

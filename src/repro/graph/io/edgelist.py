@@ -1,0 +1,100 @@
+"""SNAP-style whitespace-separated edge-list files.
+
+The paper's real datasets come from http://snap.stanford.edu/data/, which
+ships graphs in this format: ``#``-prefixed comment lines, then one
+``u<TAB>v`` (optionally ``u v w``) pair per line.  Node ids in the file may
+be arbitrary non-negative integers; we compact them to ``0..n-1`` and can
+return the mapping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.memory import CSRGraph
+
+
+def read_edgelist(
+    path: str | Path,
+    *,
+    num_nodes: int | None = None,
+    return_mapping: bool = False,
+) -> CSRGraph | tuple[CSRGraph, np.ndarray]:
+    """Read a SNAP-format edge list.
+
+    Parameters
+    ----------
+    path:
+        File with one edge per line: ``u v`` or ``u v weight``.
+        Lines starting with ``#`` are comments.
+    num_nodes:
+        When given, node ids are taken literally and must lie in
+        ``[0, num_nodes)``.  When ``None``, ids are compacted to
+        ``0..n-1`` in sorted order of their original values.
+    return_mapping:
+        Also return the array ``original_id[i]`` for compacted graphs.
+    """
+    path = Path(path)
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[float] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'u v' or 'u v w', got {line!r}"
+                )
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+
+    u = np.array(us, dtype=np.int64)
+    v = np.array(vs, dtype=np.int64)
+    w = np.array(ws, dtype=np.float64)
+    if num_nodes is None:
+        ids = np.unique(np.concatenate([u, v])) if len(u) else np.empty(0, np.int64)
+        u = np.searchsorted(ids, u)
+        v = np.searchsorted(ids, v)
+        n = len(ids)
+        mapping = ids
+    else:
+        n = num_nodes
+        mapping = np.arange(n, dtype=np.int64)
+    builder = GraphBuilder(n, merge="first")
+    if len(u):
+        builder.add_edges(np.stack([u, v], axis=1), w)
+    graph = builder.build()
+    if return_mapping:
+        return graph, mapping
+    return graph
+
+
+def write_edgelist(
+    graph: CSRGraph,
+    path: str | Path,
+    *,
+    write_weights: bool = False,
+    header: str | None = None,
+) -> None:
+    """Write each undirected edge once in SNAP format."""
+    path = Path(path)
+    edges, weights = graph.edge_list()
+    with path.open("w", encoding="utf-8") as fh:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write(f"# Nodes: {graph.num_nodes} Edges: {graph.num_edges}\n")
+        if write_weights:
+            for (u, v), w in zip(edges, weights):
+                fh.write(f"{u}\t{v}\t{w:.17g}\n")
+        else:
+            for u, v in edges:
+                fh.write(f"{u}\t{v}\n")

@@ -1,0 +1,229 @@
+"""In-memory CSR (compressed sparse row) graph.
+
+This is the workhorse substrate for the in-memory experiments (paper
+Secs. 6.2–6.3).  Adjacency is stored as three flat numpy arrays —
+``indptr``, ``indices``, ``weights`` — exactly like a ``scipy.sparse``
+CSR matrix, so neighbor queries are O(1) slices and the whole structure
+converts to a scipy matrix for the global baselines without copying
+edge data twice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph.base import GraphAccess
+
+
+class CSRGraph(GraphAccess):
+    """Undirected, edge-weighted graph in CSR layout.
+
+    Construct through :class:`repro.graph.builder.GraphBuilder`,
+    :meth:`from_edges`, or :meth:`from_scipy`.  Instances are immutable.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        _validated: bool = False,
+    ):
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if not _validated:
+            self._validate()
+        # Weighted degrees are used on every neighbor expansion; precompute.
+        self._degrees = np.add.reduceat(
+            np.append(self._weights, 0.0), self._indptr[:-1]
+        )
+        # reduceat yields garbage for empty rows; fix them up to 0.
+        empty = self._indptr[:-1] == self._indptr[1:]
+        if empty.any():
+            self._degrees[empty] = 0.0
+        self._max_degree = float(self._degrees.max()) if len(self._degrees) else 0.0
+        for arr in (self._indptr, self._indices, self._weights, self._degrees):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build from an iterable of undirected ``(u, v)`` pairs.
+
+        Duplicate edges are collapsed (weights summed); self loops are
+        rejected.  ``weights`` defaults to 1.0 per edge.
+        """
+        edge_arr = np.asarray(
+            edges if isinstance(edges, np.ndarray) else list(edges), dtype=np.int64
+        )
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphError("edges must be an iterable of (u, v) pairs")
+        if weights is None:
+            w = np.ones(edge_arr.shape[0], dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape[0] != edge_arr.shape[0]:
+                raise GraphError("weights length must match number of edges")
+        if edge_arr.size and (
+            edge_arr.min() < 0 or edge_arr.max() >= num_nodes
+        ):
+            raise GraphError("edge endpoint out of range")
+        if edge_arr.size and (edge_arr[:, 0] == edge_arr[:, 1]).any():
+            raise GraphError("self loops are not allowed")
+        if (w <= 0).any():
+            raise GraphError("edge weights must be positive")
+
+        rows = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+        cols = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+        vals = np.concatenate([w, w])
+        mat = sp.coo_matrix(
+            (vals, (rows, cols)), shape=(num_nodes, num_nodes)
+        ).tocsr()
+        mat.sum_duplicates()
+        return cls.from_scipy(mat)
+
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix) -> "CSRGraph":
+        """Build from a symmetric scipy sparse adjacency matrix."""
+        csr = sp.csr_matrix(mat, dtype=np.float64)
+        csr.sort_indices()
+        graph = cls(
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data,
+            _validated=True,
+        )
+        graph._validate()
+        return graph
+
+    # ------------------------------------------------------------------
+    # GraphAccess interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._indices) // 2
+
+    def neighbors(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        self.validate_node(u)
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        return self._indices[lo:hi], self._weights[lo:hi]
+
+    def degree(self, u: int) -> float:
+        self.validate_node(u)
+        return float(self._degrees[u])
+
+    def degrees_of(self, nodes: np.ndarray) -> np.ndarray:
+        return self._degrees[np.asarray(nodes, dtype=np.int64)]
+
+    @property
+    def max_degree(self) -> float:
+        return self._max_degree
+
+    # ------------------------------------------------------------------
+    # Extras used by global baselines and generators
+    # ------------------------------------------------------------------
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vector of weighted degrees (read-only)."""
+        return self._degrees
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Adjacency matrix as ``scipy.sparse.csr_matrix`` (shares data)."""
+        n = self.num_nodes
+        return sp.csr_matrix(
+            (self._weights, self._indices, self._indptr), shape=(n, n)
+        )
+
+    def transition_matrix(self) -> sp.csr_matrix:
+        """Row-stochastic transition matrix ``P`` with ``P[i,j] = w_ij/w_i``.
+
+        Rows of isolated nodes are all-zero.
+        """
+        adj = self.to_scipy().tocsr(copy=True)
+        inv = np.zeros(self.num_nodes, dtype=np.float64)
+        nz = self._degrees > 0
+        inv[nz] = 1.0 / self._degrees[nz]
+        adj.data *= np.repeat(inv, np.diff(self._indptr))
+        return adj
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(edges, weights)`` with each undirected edge once (u < v)."""
+        n = self.num_nodes
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        mask = rows < self._indices
+        edges = np.stack([rows[mask], self._indices[mask]], axis=1)
+        return edges, self._weights[mask].copy()
+
+    def subgraph_nodes_within_hops(self, source: int, hops: int) -> np.ndarray:
+        """Node ids within ``hops`` BFS hops of ``source`` (including it)."""
+        self.validate_node(source)
+        seen = {source}
+        frontier = [source]
+        for _ in range(hops):
+            nxt: list[int] = []
+            for u in frontier:
+                ids, _ = self.neighbors(u)
+                for v in ids:
+                    v = int(v)
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+            if not frontier:
+                break
+        return np.array(sorted(seen), dtype=np.int64)
+
+    def is_connected(self) -> bool:
+        """True when the graph has a single connected component."""
+        if self.num_nodes == 0:
+            return True
+        n_comp, _ = sp.csgraph.connected_components(self.to_scipy(), directed=False)
+        return n_comp == 1
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        n = len(self._indptr) - 1
+        if n < 0:
+            raise GraphError("indptr must have at least one entry")
+        if self._indptr[0] != 0 or self._indptr[-1] != len(self._indices):
+            raise GraphError("indptr does not cover the indices array")
+        if np.any(np.diff(self._indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if len(self._indices) != len(self._weights):
+            raise GraphError("indices and weights must have equal length")
+        if len(self._indices) % 2 != 0:
+            raise GraphError(
+                "undirected graph must store each edge in both directions"
+            )
+        if len(self._indices) and (
+            self._indices.min() < 0 or self._indices.max() >= n
+        ):
+            raise GraphError("neighbor index out of range")
+        if (self._weights < 0).any():
+            raise GraphError("edge weights must be positive")
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        if (rows == self._indices).any():
+            raise GraphError("self loops are not allowed")

@@ -1,0 +1,29 @@
+"""Random-walk proximity measures (paper Table 2) and exact solvers."""
+
+from repro.measures.base import Direction, Measure, PHPFamilyMeasure
+from repro.measures.dht import DHT
+from repro.measures.ei import EI
+from repro.measures.exact import (
+    DEFAULT_TAU,
+    exact_top_k,
+    power_iteration,
+    solve_direct,
+)
+from repro.measures.php import PHP
+from repro.measures.rwr import RWR
+from repro.measures.tht import THT
+
+__all__ = [
+    "Direction",
+    "Measure",
+    "PHPFamilyMeasure",
+    "PHP",
+    "EI",
+    "DHT",
+    "THT",
+    "RWR",
+    "solve_direct",
+    "power_iteration",
+    "exact_top_k",
+    "DEFAULT_TAU",
+]

@@ -1,0 +1,68 @@
+"""Discounted hitting time (DHT) [Sarkar & Moore 2010].
+
+Recursive definition (paper Appendix 10.1)::
+
+    r_q = 0
+    r_i = 1 + (1-c) * sum_{j in N_i} p_{i,j} r_j     (i != q)
+
+with discount ``0 < c < 1``.  Smaller is closer; DHT has no local minimum
+(Lemma 6) and every value is below ``1 / c``.  DHT is an affine PHP
+transform (Theorem 2): with PHP decay ``1 - c``,
+
+    PHP(i) = 1 - c * DHT(i)    i.e.    DHT(i) = (1 - PHP(i)) / c,
+
+so a PHP lower bound is a DHT *upper* bound and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.memory import CSRGraph
+from repro.measures.base import Direction, PHPFamilyMeasure, _check_unit_interval
+from repro.measures.matrices import absorbed_transition_matrix, ones_except
+
+
+class DHT(PHPFamilyMeasure):
+    """Discounted hitting time with discount ``c``."""
+
+    name = "DHT"
+    direction = Direction.LOWER_IS_CLOSER
+
+    def __init__(self, c: float = 0.5):
+        self.c = _check_unit_interval(c, "discount c")
+
+    def params(self) -> str:
+        return f"c={self.c:g}"
+
+    def matrix_recursion(
+        self, graph: CSRGraph, q: int
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        graph.validate_node(q)
+        t = absorbed_transition_matrix(graph, q)
+        e = ones_except(graph.num_nodes, q)
+        # Isolated nodes have an empty recursion sum; without correction
+        # the system would assign them hitting time 1 ("one step from q").
+        # They can never reach q, so pin them at the supremum 1/c.
+        isolated = graph.degrees == 0
+        isolated[q] = False
+        e[isolated] = self.max_value
+        return ((1.0 - self.c) * t).tocsr(), e
+
+    def query_value(self, graph: CSRGraph, q: int) -> float:
+        return 0.0
+
+    @property
+    def max_value(self) -> float:
+        """Supremum ``1 / c`` of DHT on connected graphs (Lemma 6)."""
+        return 1.0 / self.c
+
+    # PHP-family reduction (Theorem 2). -----------------------------------
+
+    @property
+    def php_decay(self) -> float:
+        return 1.0 - self.c
+
+    def from_php(self, php_value: float, degree: float, scale: float) -> float:
+        return (1.0 - php_value) / self.c

@@ -1,0 +1,77 @@
+"""Effective importance (EI) [Bogdanov & Singh 2013].
+
+Degree-normalized random walk with restart (paper Appendix 10.1)::
+
+    r_i = (1-c) * sum_{j in N_i} p_{i,j} r_j                (i != q)
+    r_q = (1-c) * sum_{j in N_q} p_{q,j} r_j + c / w_q
+
+with restart probability ``0 < c < 1``.  EI has no local maximum (Lemma 5)
+and is a PHP re-scaling (Theorem 2): with PHP decay set to ``1 - c``,
+
+    EI(i) = EI(q) * PHP(i).
+
+The query factor ``EI(q)`` is itself *locally* computable: substituting the
+identity into the recursion at the query node gives
+
+    EI(q) = (c / w_q) / (1 - (1-c) * sum_{j in N_q} p_{q,j} PHP(j)),
+
+which needs only the PHP values of the query's own neighbors.  That is what
+:meth:`EI.query_scale` returns and how FLoS reports native EI bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.memory import CSRGraph
+from repro.measures.base import Direction, PHPFamilyMeasure, _check_unit_interval
+from repro.measures.matrices import transition_matrix, unit_vector
+
+
+class EI(PHPFamilyMeasure):
+    """Effective importance with restart probability ``c`` (paper: 0.5)."""
+
+    name = "EI"
+    direction = Direction.HIGHER_IS_CLOSER
+
+    def __init__(self, c: float = 0.5):
+        self.c = _check_unit_interval(c, "restart probability c")
+
+    def params(self) -> str:
+        return f"c={self.c:g}"
+
+    def matrix_recursion(
+        self, graph: CSRGraph, q: int
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        graph.validate_node(q)
+        p = transition_matrix(graph)
+        wq = graph.degree(q)
+        if wq <= 0:
+            # Isolated query: EI(q) = c / w_q is undefined; the paper's
+            # model assumes connected graphs, so degenerate to a zero
+            # system with a unit source.
+            return sp.csr_matrix((graph.num_nodes, graph.num_nodes)), unit_vector(
+                graph.num_nodes, q
+            )
+        return ((1.0 - self.c) * p).tocsr(), unit_vector(
+            graph.num_nodes, q, self.c / wq
+        )
+
+    # PHP-family reduction (Theorem 2). -----------------------------------
+
+    @property
+    def php_decay(self) -> float:
+        return 1.0 - self.c
+
+    def query_scale(
+        self,
+        query_degree: float,
+        neighbor_probs: np.ndarray,
+        neighbor_php: np.ndarray,
+    ) -> float:
+        denom = 1.0 - (1.0 - self.c) * float(neighbor_probs @ neighbor_php)
+        return (self.c / query_degree) / denom
+
+    def from_php(self, php_value: float, degree: float, scale: float) -> float:
+        return scale * php_value

@@ -1,0 +1,39 @@
+"""Shared sparse-matrix helpers for measure recursions."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.memory import CSRGraph
+
+
+def transition_matrix(graph: CSRGraph) -> sp.csr_matrix:
+    """Row-stochastic ``P`` with ``P[i, j] = w_ij / w_i``."""
+    return graph.transition_matrix()
+
+
+def absorbed_transition_matrix(graph: CSRGraph, q: int) -> sp.csr_matrix:
+    """``T``: the transition matrix with the query row zeroed (Table 1).
+
+    Zeroing row ``q`` makes the query node absorbing, which is what gives
+    PHP/DHT/THT their "walk ends at q" semantics.
+    """
+    mat = transition_matrix(graph).tolil()
+    mat.rows[q] = []
+    mat.data[q] = []
+    return mat.tocsr()
+
+
+def unit_vector(n: int, q: int, value: float = 1.0) -> np.ndarray:
+    """Dense ``e_q`` with a single non-zero entry."""
+    e = np.zeros(n, dtype=np.float64)
+    e[q] = value
+    return e
+
+
+def ones_except(n: int, q: int) -> np.ndarray:
+    """Dense all-ones vector with entry ``q`` zeroed (DHT/THT source term)."""
+    e = np.ones(n, dtype=np.float64)
+    e[q] = 0.0
+    return e

@@ -1,0 +1,57 @@
+"""Penalized hitting probability (PHP) [Guan et al. 2011; Zhang et al. 2012].
+
+Recursive definition (paper Sec. 3.2)::
+
+    r_q = 1
+    r_i = c * sum_{j in N_i} p_{i,j} r_j        (i != q)
+
+with decay factor ``0 < c < 1``.  Matrix form ``r = c T r + e_q`` where
+``T`` zeroes the query row.  PHP has **no local maximum** (Lemma 1), which
+is what makes it FLoS's canonical measure: every other supported measure is
+reduced to a PHP computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.memory import CSRGraph
+from repro.measures.base import Direction, PHPFamilyMeasure, _check_unit_interval
+from repro.measures.matrices import absorbed_transition_matrix, unit_vector
+
+
+class PHP(PHPFamilyMeasure):
+    """Penalized hitting probability with decay factor ``c``.
+
+    The paper's experiments use ``c = 0.5`` (Sec. 6.1); Guan et al. use
+    ``c = 1/e``.
+    """
+
+    name = "PHP"
+    direction = Direction.HIGHER_IS_CLOSER
+
+    def __init__(self, c: float = 0.5):
+        self.c = _check_unit_interval(c, "decay factor c")
+
+    def params(self) -> str:
+        return f"c={self.c:g}"
+
+    def matrix_recursion(
+        self, graph: CSRGraph, q: int
+    ) -> tuple[sp.csr_matrix, np.ndarray]:
+        graph.validate_node(q)
+        t = absorbed_transition_matrix(graph, q)
+        return (self.c * t).tocsr(), unit_vector(graph.num_nodes, q)
+
+    def query_value(self, graph: CSRGraph, q: int) -> float:
+        return 1.0
+
+    # PHP-family reduction: PHP is its own canonical form. ---------------
+
+    @property
+    def php_decay(self) -> float:
+        return self.c
+
+    def from_php(self, php_value: float, degree: float, scale: float) -> float:
+        return php_value

@@ -1,0 +1,59 @@
+"""Closed-form relationships among measures (Theorems 2 and 6).
+
+These conversions are both a correctness oracle for the test suite and the
+mechanism by which FLoS reports native EI/DHT/RWR values from PHP bounds.
+
+With a fixed query node ``q`` on an undirected graph:
+
+* ``EI(i) = EI(q) · PHP(i)`` where PHP uses decay ``1 - c`` and
+  ``EI(q) = (c/w_q) / (1 - (1-c) Σ_j p_{q,j} PHP(j))`` (Theorem 2);
+* ``PHP(i) = 1 - c · DHT(i)`` where PHP uses decay ``1 - c`` (Theorem 2);
+* ``RWR(i) = (RWR(q)/w_q) · w_i · PHP(i)`` where PHP uses decay ``1 - c``
+  and ``RWR(q) = c / (1 - (1-c) Σ_j p_{q,j} PHP(j))`` (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.memory import CSRGraph
+
+
+def _query_neighbor_term(
+    graph: CSRGraph, q: int, php_values: np.ndarray
+) -> float:
+    """``Σ_{j ∈ N_q} p_{q,j} PHP(j)`` — the local sum in both query factors."""
+    ids, probs = graph.transition_probabilities(q)
+    return float(probs @ php_values[ids])
+
+
+def ei_from_php(
+    graph: CSRGraph, q: int, php_values: np.ndarray, restart: float
+) -> np.ndarray:
+    """Convert a full PHP vector (decay ``1 - restart``) into EI values."""
+    s = (1.0 - restart) * _query_neighbor_term(graph, q, php_values)
+    ei_q = (restart / graph.degree(q)) / (1.0 - s)
+    out = ei_q * php_values
+    out[q] = ei_q
+    return out
+
+
+def dht_from_php(php_values: np.ndarray, discount: float) -> np.ndarray:
+    """Convert a PHP vector (decay ``1 - discount``) into DHT values."""
+    return (1.0 - php_values) / discount
+
+
+def php_from_dht(dht_values: np.ndarray, discount: float) -> np.ndarray:
+    """Inverse of :func:`dht_from_php`."""
+    return 1.0 - discount * dht_values
+
+
+def rwr_from_php(
+    graph: CSRGraph, q: int, php_values: np.ndarray, restart: float
+) -> np.ndarray:
+    """Convert a PHP vector (decay ``1 - restart``) into RWR values."""
+    s = (1.0 - restart) * _query_neighbor_term(graph, q, php_values)
+    rwr_q = restart / (1.0 - s)
+    out = (rwr_q / graph.degree(q)) * graph.degrees * php_values
+    out[q] = rwr_q
+    return out

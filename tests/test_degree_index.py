@@ -1,0 +1,70 @@
+"""Tests for the max-unvisited-degree index used by FLoS_RWR (Sec. 5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.degree_index import DegreeIndex
+from repro.core.localgraph import LocalView
+from repro.graph.generators import erdos_renyi, star_graph
+
+
+def brute_force_max_unvisited(graph, view):
+    degrees = [
+        graph.degree(u)
+        for u in range(graph.num_nodes)
+        if not view.is_visited(u)
+    ]
+    return max(degrees) if degrees else 0.0
+
+
+def test_matches_brute_force_during_expansion():
+    g = erdos_renyi(80, 240, seed=70, weighted=True)
+    view = LocalView(g, 0, track_tightening=False)
+    index = DegreeIndex(g)
+    for _ in range(12):
+        assert index(view) == pytest.approx(
+            brute_force_max_unvisited(g, view)
+        )
+        boundary = np.flatnonzero(view.boundary_mask())
+        if len(boundary) == 0:
+            break
+        view.expand(int(boundary[0]))
+
+
+def test_all_visited_returns_zero():
+    g = star_graph(4)
+    view = LocalView(g, 0, track_tightening=False)
+    view.expand(0)
+    index = DegreeIndex(g)
+    assert index(view) == 0.0
+
+
+def test_hub_disappears_once_visited():
+    g = star_graph(10)  # hub 0 has degree 10, leaves degree 1
+    index = DegreeIndex(g)
+    view = LocalView(g, 1, track_tightening=False)  # query = a leaf
+    assert index(view) == 10.0  # hub unvisited
+    view.expand(0)  # visiting the leaf's neighbor = the hub
+    assert index(view) == 1.0  # only leaves remain
+
+
+def test_order_cache_shared_between_queries():
+    g = erdos_renyi(50, 150, seed=71)
+    a = DegreeIndex(g)
+    b = DegreeIndex(g)
+    assert a._order is b._order  # one sort per graph
+
+
+def test_cursor_monotone():
+    g = erdos_renyi(60, 180, seed=72)
+    view = LocalView(g, 5, track_tightening=False)
+    index = DegreeIndex(g)
+    cursors = []
+    for _ in range(8):
+        index(view)
+        cursors.append(index._cursor)
+        boundary = np.flatnonzero(view.boundary_mask())
+        if len(boundary) == 0:
+            break
+        view.expand(int(boundary[-1]))
+    assert cursors == sorted(cursors)

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    ConvergenceError,
+    DiskFormatError,
+    GraphError,
+    MeasureError,
+    NodeNotFoundError,
+    ReproError,
+    SearchError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(GraphError, ReproError)
+    assert issubclass(NodeNotFoundError, GraphError)
+    assert issubclass(DiskFormatError, GraphError)
+    assert issubclass(MeasureError, ReproError)
+    assert issubclass(SearchError, ReproError)
+    assert issubclass(ConvergenceError, SearchError)
+    assert issubclass(BudgetExceededError, SearchError)
+
+
+def test_node_not_found_payload():
+    err = NodeNotFoundError(42, 10)
+    assert err.node == 42
+    assert err.num_nodes == 10
+    assert "42" in str(err) and "0..9" in str(err)
+
+
+def test_convergence_payload():
+    err = ConvergenceError(100, 0.5, 1e-5)
+    assert err.iterations == 100
+    assert err.residual == 0.5
+    assert err.tol == 1e-5
+    assert "100 iterations" in str(err)
+
+
+def test_budget_payload():
+    err = BudgetExceededError(120, 100)
+    assert err.visited == 120
+    assert err.budget == 100
+    assert "120" in str(err)
+
+
+def test_catchable_at_base():
+    with pytest.raises(ReproError):
+        raise NodeNotFoundError(1, 1)

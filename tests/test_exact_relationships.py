@@ -1,0 +1,106 @@
+"""Tests for the exact solvers and the measure relationship theorems."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.graph.generators import erdos_renyi, paper_example_graph, rmat
+from repro.measures import DHT, EI, PHP, RWR, THT, power_iteration, solve_direct
+from repro.measures.exact import exact_top_k
+from repro.measures.relationships import (
+    dht_from_php,
+    ei_from_php,
+    php_from_dht,
+    rwr_from_php,
+)
+
+
+class TestSolvers:
+    def test_direct_and_power_iteration_agree(self, measure):
+        g = erdos_renyi(80, 240, seed=2)
+        direct = solve_direct(measure, g, 5)
+        iterated, iterations = power_iteration(measure, g, 5, tau=1e-10)
+        np.testing.assert_allclose(direct, iterated, atol=1e-8)
+        assert iterations >= 1
+
+    def test_power_iteration_warm_start(self):
+        g = erdos_renyi(60, 180, seed=3)
+        r0, it0 = power_iteration(PHP(0.5), g, 1, tau=1e-10)
+        _, it1 = power_iteration(PHP(0.5), g, 1, tau=1e-10, initial=r0)
+        assert it1 < it0
+
+    def test_convergence_error(self):
+        g = erdos_renyi(60, 180, seed=4)
+        with pytest.raises(ConvergenceError):
+            power_iteration(PHP(0.99), g, 1, tau=1e-12, max_iterations=3)
+
+    def test_exact_top_k(self):
+        g = paper_example_graph()
+        nodes, values = exact_top_k(PHP(0.8), g, 0, 2)
+        assert sorted(map(int, nodes)) == [1, 2]
+        assert np.all(values > 0)
+
+    def test_tht_solver_is_finite_dp(self):
+        g = paper_example_graph()
+        direct = solve_direct(THT(10), g, 0)
+        iterated, iterations = power_iteration(THT(10), g, 0)
+        np.testing.assert_allclose(direct, iterated)
+        assert iterations == 10
+
+
+class TestTheorem2:
+    """PHP, EI, and DHT give the same ranking (and closed-form scalings)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("c", [0.3, 0.5, 0.7])
+    def test_ei_is_scaled_php(self, seed, c):
+        g = erdos_renyi(70, 210, seed=seed)
+        q = 11
+        php = solve_direct(PHP(1.0 - c), g, q)
+        ei = solve_direct(EI(c), g, q)
+        np.testing.assert_allclose(ei, ei_from_php(g, q, php, c), atol=1e-10)
+
+    @pytest.mark.parametrize("c", [0.3, 0.5, 0.7])
+    def test_dht_affine_in_php(self, c):
+        g = rmat(6, 200, seed=9)
+        q = 3
+        php = solve_direct(PHP(1.0 - c), g, q)
+        dht = solve_direct(DHT(c), g, q)
+        np.testing.assert_allclose(dht, dht_from_php(php, c), atol=1e-10)
+        np.testing.assert_allclose(php, php_from_dht(dht, c), atol=1e-10)
+
+    def test_rankings_coincide(self):
+        g = erdos_renyi(90, 270, seed=5)
+        q, k = 7, 15
+        php = solve_direct(PHP(0.5), g, q)
+        ei = solve_direct(EI(0.5), g, q)
+        dht = solve_direct(DHT(0.5), g, q)
+        top_php = list(PHP(0.5).top_k_from_vector(php, q, k))
+        top_ei = list(EI(0.5).top_k_from_vector(ei, q, k))
+        top_dht = list(DHT(0.5).top_k_from_vector(dht, q, k))
+        assert top_php == top_ei == top_dht
+
+
+class TestTheorem6:
+    """RWR(i) = (RWR(q) / w_q) · w_i · PHP(i) on undirected graphs."""
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    @pytest.mark.parametrize("c", [0.2, 0.5, 0.8])
+    def test_identity(self, seed, c):
+        g = erdos_renyi(80, 240, seed=seed, weighted=True)
+        q = 17
+        php = solve_direct(PHP(1.0 - c), g, q)
+        rwr = solve_direct(RWR(c), g, q)
+        np.testing.assert_allclose(
+            rwr, rwr_from_php(g, q, php, c), atol=1e-10
+        )
+
+    def test_ranking_equals_degree_weighted_php(self):
+        g = rmat(7, 600, seed=6)
+        q, k = 2, 10
+        php = solve_direct(PHP(0.5), g, q)
+        rwr = solve_direct(RWR(0.5), g, q)
+        weighted = g.degrees * php
+        top_w = list(PHP(0.5).top_k_from_vector(weighted, q, k))
+        top_rwr = list(RWR(0.5).top_k_from_vector(rwr, q, k))
+        assert top_w == top_rwr

@@ -1,0 +1,86 @@
+"""Unit tests for the incremental graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+def test_single_edges_accumulate():
+    b = GraphBuilder(5)
+    b.add_edge(0, 1)
+    b.add_edge(2, 3, weight=2.5)
+    g = b.build()
+    assert g.num_edges == 2
+    assert g.degree(2) == pytest.approx(2.5)
+
+
+def test_bulk_and_dedup_sum():
+    b = GraphBuilder(4, merge="sum")
+    b.add_edges(np.array([[0, 1], [1, 0], [2, 3]]), np.array([1.0, 2.0, 1.0]))
+    g = b.build()
+    assert g.num_edges == 2
+    ids, w = g.neighbors(0)
+    assert w[list(ids).index(1)] == pytest.approx(3.0)
+
+
+def test_dedup_max():
+    b = GraphBuilder(3, merge="max")
+    b.add_edges(np.array([[0, 1], [0, 1]]), np.array([1.0, 5.0]))
+    g = b.build()
+    _, w = g.neighbors(0)
+    assert w[0] == pytest.approx(5.0)
+
+
+def test_dedup_first():
+    b = GraphBuilder(3, merge="first")
+    b.add_edges(np.array([[0, 1], [0, 1]]), np.array([4.0, 5.0]))
+    g = b.build()
+    _, w = g.neighbors(0)
+    assert w[0] == pytest.approx(4.0)
+
+
+def test_self_loops_silently_dropped():
+    b = GraphBuilder(3)
+    b.add_edges(np.array([[1, 1], [0, 1]]))
+    g = b.build()
+    assert g.num_edges == 1
+
+
+def test_empty_build():
+    g = GraphBuilder(7).build()
+    assert g.num_nodes == 7
+    assert g.num_edges == 0
+
+
+def test_pending_edge_count():
+    b = GraphBuilder(4)
+    b.add_edges(np.array([[0, 1], [1, 2], [1, 1]]))
+    assert b.num_pending_edges == 2  # the self loop was dropped
+
+
+def test_endpoint_validation():
+    b = GraphBuilder(3)
+    with pytest.raises(GraphError, match="out of range"):
+        b.add_edge(0, 3)
+
+
+def test_bad_merge_mode():
+    with pytest.raises(GraphError, match="merge"):
+        GraphBuilder(3, merge="median")
+
+
+def test_negative_weight_rejected():
+    b = GraphBuilder(3)
+    with pytest.raises(GraphError, match="positive"):
+        b.add_edges(np.array([[0, 1]]), np.array([-1.0]))
+
+
+def test_canonical_orientation_dedups_reversed_edges():
+    b = GraphBuilder(3, merge="sum")
+    b.add_edge(0, 2, 1.0)
+    b.add_edge(2, 0, 1.0)
+    g = b.build()
+    assert g.num_edges == 1
+    assert g.degree(0) == pytest.approx(2.0)

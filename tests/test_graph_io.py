@@ -1,0 +1,76 @@
+"""Unit tests for edge-list and binary graph IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DiskFormatError, GraphError
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import load_npz, read_edgelist, save_npz, write_edgelist
+from repro.graph.memory import CSRGraph
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = erdos_renyi(40, 90, seed=1)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path, num_nodes=40)
+        assert g2.num_edges == g.num_edges
+        np.testing.assert_allclose(g2.degrees, g.degrees)
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = erdos_renyi(30, 60, seed=2, weighted=True)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, write_weights=True)
+        g2 = read_edgelist(path, num_nodes=30)
+        np.testing.assert_allclose(g2.degrees, g.degrees)
+
+    def test_comments_and_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0\t1\n1\t2\n# trailing\n")
+        g = read_edgelist(path, num_nodes=3)
+        assert g.num_edges == 2
+
+    def test_id_compaction(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("10 20\n20 30\n")
+        g, mapping = read_edgelist(path, return_mapping=True)
+        assert g.num_nodes == 3
+        assert list(mapping) == [10, 20, 30]
+
+    def test_snap_style_header_written(self, tmp_path):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path, header="Amazon stand-in")
+        text = path.read_text()
+        assert text.startswith("# Amazon stand-in")
+        assert "# Nodes: 3 Edges: 1" in text
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edgelist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edgelist(path)
+        assert g.num_nodes == 0
+
+
+class TestBinary:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(50, 120, seed=3, weighted=True)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_edges == g.num_edges
+        np.testing.assert_allclose(g2.degrees, g.degrees)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, a=np.arange(3))
+        with pytest.raises(DiskFormatError):
+            load_npz(path)

@@ -1,0 +1,127 @@
+"""Unit tests for the Jacobi solver and the COO mat-vec operator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.iterative import (
+    CooOperator,
+    finite_horizon_solve,
+    jacobi_solve,
+)
+from repro.errors import ConvergenceError
+
+
+def random_contraction(n: int, seed: int, norm: float = 0.6):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((n, n)) * (rng.random((n, n)) < 0.2)
+    rowsum = dense.sum(axis=1, keepdims=True)
+    rowsum[rowsum == 0] = 1.0
+    dense = dense / rowsum * norm
+    return sp.csr_matrix(dense)
+
+
+class TestJacobi:
+    def test_matches_direct_solve(self):
+        a = random_contraction(30, 1)
+        e = np.arange(30, dtype=float) / 30
+        r, _ = jacobi_solve(a, e, np.zeros(30), tau=1e-12)
+        expected = np.linalg.solve(np.eye(30) - a.toarray(), e)
+        np.testing.assert_allclose(r, expected, atol=1e-9)
+
+    def test_warm_start_fewer_iterations(self):
+        a = random_contraction(30, 2)
+        e = np.ones(30)
+        r, cold = jacobi_solve(a, e, np.zeros(30), tau=1e-10)
+        _, warm = jacobi_solve(a, e, r, tau=1e-10)
+        assert warm < cold
+
+    def test_one_sided_from_below(self):
+        """Starting below the fixed point, every iterate stays below —
+        the invariant FLoS's truncated lower-bound solves rely on."""
+        a = random_contraction(25, 3)
+        e = np.ones(25)
+        exact = np.linalg.solve(np.eye(25) - a.toarray(), e)
+        r = np.zeros(25)
+        for _ in range(10):
+            r = a @ r + e
+            assert np.all(r <= exact + 1e-12)
+
+    def test_one_sided_from_above(self):
+        a = random_contraction(25, 4)
+        e = np.ones(25)
+        exact = np.linalg.solve(np.eye(25) - a.toarray(), e)
+        r = np.full(25, exact.max() + 1.0)
+        for _ in range(10):
+            r = a @ r + e
+            assert np.all(r >= exact - 1e-12)
+
+    def test_convergence_error(self):
+        a = random_contraction(10, 5, norm=0.999)
+        with pytest.raises(ConvergenceError) as err:
+            jacobi_solve(a, np.ones(10), np.zeros(10), tau=1e-15, max_iterations=5)
+        assert err.value.iterations == 5
+
+    def test_empty_system(self):
+        a = sp.csr_matrix((0, 0))
+        r, it = jacobi_solve(a, np.zeros(0), np.zeros(0))
+        assert len(r) == 0 and it == 1
+
+
+class TestCooOperator:
+    def test_matches_csr_matvec(self):
+        a = random_contraction(40, 6)
+        coo = a.tocoo()
+        op = CooOperator(
+            coo.row.astype(np.int64),
+            coo.col.astype(np.int64),
+            coo.data,
+            40,
+        )
+        x = np.random.default_rng(0).random(40)
+        np.testing.assert_allclose(op @ x, a @ x, atol=1e-12)
+
+    def test_duplicate_triplets_sum(self):
+        op = CooOperator(
+            np.array([0, 0]), np.array([1, 1]), np.array([0.3, 0.2]), 2
+        )
+        x = np.array([0.0, 2.0])
+        np.testing.assert_allclose(op @ x, [1.0, 0.0])
+
+    def test_diagonal_term(self):
+        op = CooOperator(
+            np.array([0]), np.array([1]), np.array([0.5]), 2,
+            diag=np.array([0.1, 0.2]),
+        )
+        x = np.array([1.0, 1.0])
+        np.testing.assert_allclose(op @ x, [0.6, 0.2])
+
+    def test_jacobi_accepts_operator(self):
+        a = random_contraction(20, 7)
+        coo = a.tocoo()
+        op = CooOperator(
+            coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data, 20
+        )
+        e = np.ones(20)
+        r_op, _ = jacobi_solve(op, e, np.zeros(20), tau=1e-12)
+        r_sp, _ = jacobi_solve(a, e, np.zeros(20), tau=1e-12)
+        np.testing.assert_allclose(r_op, r_sp, atol=1e-10)
+
+
+class TestFiniteHorizon:
+    def test_zero_steps(self):
+        a = random_contraction(5, 8)
+        r = finite_horizon_solve(a, np.ones(5), 0)
+        np.testing.assert_array_equal(r, np.zeros(5))
+
+    def test_one_step_is_source(self):
+        a = random_contraction(5, 9)
+        e = np.arange(5, dtype=float)
+        np.testing.assert_allclose(finite_horizon_solve(a, e, 1), e)
+
+    def test_converges_toward_fixed_point(self):
+        a = random_contraction(15, 10)
+        e = np.ones(15)
+        exact = np.linalg.solve(np.eye(15) - a.toarray(), e)
+        r = finite_horizon_solve(a, e, 200)
+        np.testing.assert_allclose(r, exact, atol=1e-8)

@@ -1,0 +1,110 @@
+"""Direct unit tests for the LRU page cache (independent of DiskGraph)."""
+
+import io
+
+import pytest
+
+from repro.graph.disk.cache import LRUPageCache
+
+
+@pytest.fixture
+def backing():
+    # 16 pages of 64 bytes: page i filled with byte value i.
+    data = b"".join(bytes([i]) * 64 for i in range(16))
+    return io.BytesIO(data)
+
+
+def make(backing, pages=4, page_size=64):
+    return LRUPageCache(backing, page_size, pages * page_size)
+
+
+class TestReads:
+    def test_within_one_page(self, backing):
+        cache = make(backing)
+        assert cache.read(10, 5) == bytes([0]) * 5
+        assert cache.read(64 * 3 + 1, 2) == bytes([3]) * 2
+
+    def test_spanning_pages(self, backing):
+        cache = make(backing)
+        out = cache.read(60, 8)
+        assert out == bytes([0]) * 4 + bytes([1]) * 4
+
+    def test_zero_length(self, backing):
+        assert make(backing).read(0, 0) == b""
+
+    def test_exact_page_boundary(self, backing):
+        cache = make(backing)
+        assert cache.read(64, 64) == bytes([1]) * 64
+        assert cache.stats.misses == 1
+
+    def test_read_past_eof_returns_short(self, backing):
+        cache = make(backing)
+        out = cache.read(64 * 15, 200)
+        assert out == bytes([15]) * 64  # only one page exists
+
+
+class TestLRUBehaviour:
+    def test_hits_after_first_access(self, backing):
+        cache = make(backing)
+        cache.read(0, 1)
+        cache.read(1, 1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_lru(self, backing):
+        cache = make(backing, pages=2)
+        cache.read(0, 1)        # page 0
+        cache.read(64, 1)       # page 1
+        cache.read(0, 1)        # touch page 0 (now MRU)
+        cache.read(128, 1)      # page 2 evicts page 1
+        misses_before = cache.stats.misses
+        cache.read(0, 1)        # page 0 still resident
+        assert cache.stats.misses == misses_before
+        cache.read(64, 1)       # page 1 was evicted
+        assert cache.stats.misses == misses_before + 1
+
+    def test_capacity_respected(self, backing):
+        cache = make(backing, pages=3)
+        for page in range(10):
+            cache.read(page * 64, 1)
+        assert cache.resident_pages <= 3
+        assert cache.stats.evictions == 7
+
+    def test_clear_keeps_counters(self, backing):
+        cache = make(backing)
+        cache.read(0, 1)
+        cache.clear()
+        assert cache.resident_pages == 0
+        assert cache.stats.misses == 1
+        cache.read(0, 1)
+        assert cache.stats.misses == 2
+
+    def test_bytes_read_accounting(self, backing):
+        cache = make(backing)
+        cache.read(0, 1)
+        assert cache.stats.bytes_read == 64
+        cache.read(0, 64)  # hit: no new bytes
+        assert cache.stats.bytes_read == 64
+
+    def test_hit_rate(self, backing):
+        cache = make(backing)
+        assert cache.stats.hit_rate == 0.0
+        cache.read(0, 1)
+        cache.read(0, 1)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_stats_reset(self, backing):
+        cache = make(backing)
+        cache.read(0, 1)
+        cache.stats.reset()
+        assert cache.stats.requests == 0
+
+
+class TestValidation:
+    def test_bad_page_size(self, backing):
+        with pytest.raises(ValueError):
+            LRUPageCache(backing, 0, 1024)
+
+    def test_budget_below_one_page(self, backing):
+        with pytest.raises(ValueError):
+            LRUPageCache(backing, 64, 32)

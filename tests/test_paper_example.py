@@ -1,0 +1,131 @@
+"""End-to-end reproduction of the paper's running example (Figs 1–4, Table 3).
+
+These tests pin the reproduction to the paper's own published numbers:
+the Sec. 4.1 worked example of transition-probability surgery, Table 3's
+expansion order, and Figure 4's early termination with node 8 unvisited.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PHP, FLoSOptions, flos_top_k
+from repro.graph.generators import paper_example_graph, path_graph
+from repro.graph.memory import CSRGraph
+from repro.measures import solve_direct
+
+
+class TestSection41Surgery:
+    """Figure 2's deletion and destination-change examples, c = 0.5."""
+
+    def test_original_values(self):
+        r = solve_direct(PHP(0.5), path_graph(3), 0)
+        np.testing.assert_allclose(r, [1, 2 / 7, 1 / 7])
+
+    def test_deletion_example(self):
+        """Deleting p_{2,3} gives r' = [1, 1/4, 1/8] (Theorem 3 example)."""
+        g = path_graph(3)
+        m, e = PHP(0.5).matrix_recursion(g, 0)
+        m = m.tolil()
+        m[1, 2] = 0.0  # delete the transition 2→3 (0-based: 1→2)
+        import scipy.sparse.linalg as spla
+        import scipy.sparse as sp
+
+        r = spla.spsolve(sp.identity(3, format="csc") - m.tocsc(), e)
+        np.testing.assert_allclose(r, [1, 1 / 4, 1 / 8])
+        # Theorem 3: no proximity increased.
+        original = solve_direct(PHP(0.5), g, 0)
+        assert np.all(r <= original + 1e-12)
+
+    def test_destination_change_example(self):
+        """Moving p_{3,2} to the query gives r' = [1, 3/8, 1/2] (Thm 5)."""
+        g = path_graph(3)
+        m, e = PHP(0.5).matrix_recursion(g, 0)
+        m = m.tolil()
+        m[2, 0] = m[2, 1]
+        m[2, 1] = 0.0
+        import scipy.sparse.linalg as spla
+        import scipy.sparse as sp
+
+        r = spla.spsolve(sp.identity(3, format="csc") - m.tocsc(), e)
+        np.testing.assert_allclose(r, [1, 3 / 8, 1 / 2])
+        original = solve_direct(PHP(0.5), g, 0)
+        assert np.all(r >= original - 1e-12)  # destination was closer
+
+
+class TestTable3AndFigure4:
+    """The full FLoS walkthrough: q = 1, PHP, c = 0.8."""
+
+    @pytest.fixture
+    def trace(self):
+        g = paper_example_graph()
+        # The walkthrough uses the plain (untightened) bounds and
+        # single-node expansion, like the paper's Algorithms 2-7.
+        result = flos_top_k(
+            g,
+            PHP(0.8),
+            0,
+            2,
+            options=FLoSOptions(
+                record_trace=True, tighten=False, adaptive_batching=False
+            ),
+        )
+        return g, result
+
+    def test_table3_expansion_order(self, trace):
+        _, result = trace
+        newly = [
+            tuple(sorted(v + 1 for v in snap.newly_visited))
+            for snap in result.trace
+        ]
+        # Table 3 (1-based): {2,3}, {4}, {5}, {6,7}; iteration 5 ({8})
+        # never happens because termination fires at iteration 4.
+        assert newly == [(2, 3), (4,), (5,), (6, 7)]
+
+    def test_terminates_with_node8_unvisited(self, trace):
+        _, result = trace
+        assert result.trace[-1].terminated
+        visited = set(result.trace[-1].lower)
+        assert 7 not in visited  # paper node 8
+        assert result.stats.visited_nodes == 7
+
+    def test_top2_is_nodes_2_and_3(self, trace):
+        _, result = trace
+        assert result.node_set() == {1, 2}  # paper nodes 2 and 3
+        assert result.exact
+
+    def test_bounds_sandwich_exact_at_every_iteration(self, trace):
+        g, result = trace
+        exact = solve_direct(PHP(0.8), g, 0)
+        for snap in result.trace:
+            for node, lo in snap.lower.items():
+                assert lo <= exact[node] + 1e-9
+            for node, hi in snap.upper.items():
+                assert hi >= exact[node] - 1e-9
+
+    def test_figure4_monotone_bounds(self, trace):
+        """Fig. 4 (left): lower bounds never decrease, uppers never
+        increase, across local expansions."""
+        _, result = trace
+        for earlier, later in zip(result.trace, result.trace[1:]):
+            for node, lo in earlier.lower.items():
+                assert later.lower[node] >= lo - 1e-9
+            for node, hi in earlier.upper.items():
+                assert later.upper[node] <= hi + 1e-9
+
+    def test_dummy_value_monotone_non_increasing(self, trace):
+        _, result = trace
+        dummies = [snap.dummy_value for snap in result.trace]
+        assert all(b <= a + 1e-12 for a, b in zip(dummies, dummies[1:]))
+
+    def test_tightened_bounds_terminate_no_later(self):
+        g = paper_example_graph()
+        plain = flos_top_k(
+            g, PHP(0.8), 0, 2,
+            options=FLoSOptions(tighten=False, adaptive_batching=False),
+        )
+        tight = flos_top_k(
+            g, PHP(0.8), 0, 2,
+            options=FLoSOptions(tighten=True, adaptive_batching=False),
+        )
+        assert tight.stats.visited_nodes <= plain.stats.visited_nodes
+        assert tight.node_set() == plain.node_set() == {1, 2}

@@ -1,0 +1,316 @@
+"""Property-based tests (hypothesis) for the paper's theorems.
+
+Random connected weighted graphs are generated from edge-list strategies;
+each property below is one of the paper's formal claims:
+
+* Lemmas 1, 5, 6, 7 — no local optimum for PHP / EI / DHT / THT;
+* Lemma 8 — RWR *can* have local maxima (witnessed elsewhere), but is a
+  probability distribution (sanity invariant);
+* Theorem 1 / Corollary 1 — frontier domination;
+* Theorems 3–5 — monotone effects of transition-probability surgery;
+* Lemma 2 — star-to-mesh transformation preserves PHP;
+* Theorems 2 and 6 — ranking equivalences;
+* FLoS end-to-end: bounds sandwich the exact values and the certified
+  top-k set matches the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FLoSOptions, flos_top_k
+from repro.graph.memory import CSRGraph
+from repro.measures import DHT, EI, PHP, RWR, THT, solve_direct
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 40):
+    """Connected weighted graph: random tree plus random extra edges."""
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    parents = [int(rng.integers(0, i)) for i in range(1, n)]
+    edges = {(p, c) for c, p in enumerate(parents, start=1)}
+    extra = draw(st.integers(0, 2 * n))
+    for _ in range(extra):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    edge_arr = np.array(sorted(edges), dtype=np.int64)
+    weighted = draw(st.booleans())
+    weights = (
+        rng.uniform(0.1, 2.0, size=len(edge_arr)) if weighted else None
+    )
+    return CSRGraph.from_edges(n, edge_arr, weights)
+
+
+@st.composite
+def graph_query_k(draw):
+    g = draw(connected_graphs())
+    q = draw(st.integers(0, g.num_nodes - 1))
+    k = draw(st.integers(1, min(8, g.num_nodes - 1)))
+    return g, q, k
+
+
+# ----------------------------------------------------------------------
+# No-local-optimum properties (Table 2)
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_php_has_no_local_maximum(gqk):
+    g, q, _ = gqk
+    r = solve_direct(PHP(0.5), g, q)
+    _assert_no_local_max(g, q, r)
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_ei_has_no_local_maximum(gqk):
+    g, q, _ = gqk
+    r = solve_direct(EI(0.5), g, q)
+    _assert_no_local_max(g, q, r)
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_dht_has_no_local_minimum(gqk):
+    g, q, _ = gqk
+    r = solve_direct(DHT(0.5), g, q)
+    _assert_no_local_min(g, q, r)
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_tht_has_no_local_minimum_within_horizon(gqk):
+    g, q, _ = gqk
+    horizon = 10
+    r = solve_direct(THT(horizon), g, q)
+    for i in range(g.num_nodes):
+        if i == q or r[i] >= horizon - 1e-9:  # beyond-horizon nodes exempt
+            continue
+        ids, _ = g.neighbors(i)
+        assert min(r[int(v)] for v in ids) < r[i] + 1e-9
+
+
+def _assert_no_local_max(g, q, r):
+    for i in range(g.num_nodes):
+        if i == q:
+            continue
+        ids, _ = g.neighbors(i)
+        assert max(r[int(v)] for v in ids) > r[i] - 1e-12
+
+
+def _assert_no_local_min(g, q, r):
+    for i in range(g.num_nodes):
+        if i == q:
+            continue
+        ids, _ = g.neighbors(i)
+        assert min(r[int(v)] for v in ids) < r[i] + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 / Corollary 1 — frontier domination
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(graph_query_k(), st.integers(0, 2**31))
+def test_theorem1_boundary_dominates_unvisited(gqk, seed):
+    g, q, _ = gqk
+    r = solve_direct(PHP(0.5), g, q)
+    rng = np.random.default_rng(seed)
+    # Random connected visited set containing q.
+    s = {q}
+    frontier = [q]
+    for _ in range(int(rng.integers(0, g.num_nodes // 2 + 1))):
+        u = frontier[int(rng.integers(0, len(frontier)))]
+        ids, _ = g.neighbors(u)
+        for v in ids:
+            v = int(v)
+            if v not in s:
+                s.add(v)
+                frontier.append(v)
+                break
+    s_bar = [i for i in range(g.num_nodes) if i not in s]
+    if not s_bar:
+        return
+    delta_s = [
+        i for i in s if any(int(v) not in s for v in g.neighbors(i)[0])
+    ]
+    assert delta_s, "non-empty complement must leave a boundary"
+    best_boundary = max(r[i] for i in delta_s)
+    assert all(best_boundary > r[j] - 1e-12 for j in s_bar)
+
+
+# ----------------------------------------------------------------------
+# Theorems 3–5 — transition-probability surgery
+# ----------------------------------------------------------------------
+
+
+def _php_with_matrix(m, e):
+    n = len(e)
+    return np.asarray(
+        spla.spsolve(sp.identity(n, format="csc") - m.tocsc(), e)
+    ).ravel()
+
+
+@SETTINGS
+@given(graph_query_k(), st.integers(0, 2**31))
+def test_theorem3_deletion_never_increases(gqk, seed):
+    g, q, _ = gqk
+    m, e = PHP(0.5).matrix_recursion(g, q)
+    before = _php_with_matrix(m, e)
+    rng = np.random.default_rng(seed)
+    coo = m.tocoo()
+    if coo.nnz == 0:
+        return
+    pick = int(rng.integers(0, coo.nnz))
+    lil = m.tolil()
+    lil[coo.row[pick], coo.col[pick]] = 0.0
+    after = _php_with_matrix(lil, e)
+    assert np.all(after <= before + 1e-10)
+
+
+@SETTINGS
+@given(graph_query_k(), st.integers(0, 2**31))
+def test_theorem4_restoration_never_decreases(gqk, seed):
+    g, q, _ = gqk
+    m, e = PHP(0.5).matrix_recursion(g, q)
+    rng = np.random.default_rng(seed)
+    coo = m.tocoo()
+    if coo.nnz == 0:
+        return
+    pick = int(rng.integers(0, coo.nnz))
+    lil = m.tolil()
+    lil[coo.row[pick], coo.col[pick]] = 0.0
+    deleted = _php_with_matrix(lil, e)
+    restored = _php_with_matrix(m, e)
+    assert np.all(restored >= deleted - 1e-10)
+
+
+@SETTINGS
+@given(graph_query_k(), st.integers(0, 2**31))
+def test_theorem5_destination_change(gqk, seed):
+    g, q, _ = gqk
+    m, e = PHP(0.5).matrix_recursion(g, q)
+    before = _php_with_matrix(m, e)
+    rng = np.random.default_rng(seed)
+    coo = m.tocoo()
+    if coo.nnz == 0:
+        return
+    pick = int(rng.integers(0, coo.nnz))
+    i, j = int(coo.row[pick]), int(coo.col[pick])
+    target = int(rng.integers(0, g.num_nodes))
+    if target == j:
+        return
+    lil = m.tolil()
+    moved = lil[i, j]
+    lil[i, target] = lil[i, target] + moved
+    lil[i, j] = 0.0
+    after = _php_with_matrix(lil, e)
+    if before[target] >= before[j]:
+        assert np.all(after >= before - 1e-10)
+    else:
+        assert np.all(after <= before + 1e-10)
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 — star-to-mesh transformation preserves PHP
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(graph_query_k(), st.integers(0, 2**31))
+def test_lemma2_star_mesh_invariance(gqk, seed):
+    g, q, _ = gqk
+    c = 0.5
+    m, e = PHP(c).matrix_recursion(g, q)
+    before = _php_with_matrix(m, e)
+    rng = np.random.default_rng(seed)
+    u = int(rng.integers(0, g.num_nodes))
+    if u == q:
+        return
+    dense = m.toarray()
+    # Star-to-mesh (Definition 3): for every pair of in/out partners of
+    # u add p'_{i,j} = c * p_{i,u} * p_{u,j}, then delete u's row/col.
+    # ``dense`` holds M = c*T, so the decayed update is
+    # M'_{i,j} = M_{i,j} + M_{i,u} * M_{u,j}  (= c * (p_ij + c p_iu p_uj)).
+    in_partners = np.flatnonzero(dense[:, u])
+    out_row = dense[u].copy()
+    for i in in_partners:
+        dense[i] += dense[i, u] * out_row
+        dense[i, u] = 0.0
+    dense[u, :] = 0.0
+    after = _php_with_matrix(sp.lil_matrix(dense), e)
+    keep = [x for x in range(g.num_nodes) if x not in (q, u)]
+    np.testing.assert_allclose(after[keep], before[keep], atol=1e-9)
+    assert after[q] == before[q] == 1.0
+
+
+# ----------------------------------------------------------------------
+# FLoS end-to-end properties
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_flos_php_exact_and_sandwiched(gqk):
+    g, q, k = gqk
+    res = flos_top_k(g, PHP(0.5), q, k, options=FLoSOptions(tau=1e-8))
+    exact = solve_direct(PHP(0.5), g, q)
+    oracle = PHP(0.5).top_k_from_vector(exact, q, k)
+    np.testing.assert_allclose(
+        np.sort(exact[res.nodes]), np.sort(exact[oracle]), atol=1e-5
+    )
+    for node, lo, hi in zip(res.nodes, res.lower, res.upper):
+        assert lo - 1e-5 <= exact[node] <= hi + 1e-5
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_flos_rwr_exact(gqk):
+    g, q, k = gqk
+    res = flos_top_k(g, RWR(0.5), q, k, options=FLoSOptions(tau=1e-8))
+    exact = solve_direct(RWR(0.5), g, q)
+    oracle = RWR(0.5).top_k_from_vector(exact, q, k)
+    np.testing.assert_allclose(
+        np.sort(exact[res.nodes]), np.sort(exact[oracle]), atol=1e-5
+    )
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_rwr_is_probability_distribution(gqk):
+    g, q, _ = gqk
+    r = solve_direct(RWR(0.5), g, q)
+    assert abs(r.sum() - 1.0) < 1e-8
+    assert np.all(r >= -1e-12)
+
+
+@SETTINGS
+@given(graph_query_k())
+def test_theorem2_rankings_agree(gqk):
+    g, q, k = gqk
+    php = solve_direct(PHP(0.5), g, q)
+    ei = solve_direct(EI(0.5), g, q)
+    dht = solve_direct(DHT(0.5), g, q)
+    # Compare by value profile (ties may reorder ids).
+    np.testing.assert_allclose(
+        np.sort(ei)[::-1][:k] / max(ei[q], 1e-300),
+        np.sort(php)[::-1][:k],
+        atol=1e-8,
+    )
+    np.testing.assert_allclose(
+        np.sort(1.0 - 0.5 * dht)[::-1][:k], np.sort(php)[::-1][:k], atol=1e-8
+    )

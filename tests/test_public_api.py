@@ -1,0 +1,58 @@
+"""The public API surface: everything README promises must exist."""
+
+import numpy as np
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+def test_readme_quickstart_runs():
+    """The exact code block from README.md (smaller graph)."""
+    from repro import PHP, flos_top_k
+    from repro.graph.generators import erdos_renyi
+
+    graph = erdos_renyi(2_000, 8_000, seed=42)
+    result = flos_top_k(graph, PHP(c=0.5), query=123, k=10)
+    assert len(result.nodes) == 10
+    assert len(result.values) == 10
+    assert np.all(result.lower <= result.upper + 1e-12)
+    assert result.stats.visited_nodes < graph.num_nodes
+
+
+def test_measure_constructors_keyword_friendly():
+    assert repro.PHP(c=0.4).c == 0.4
+    assert repro.EI(c=0.4).c == 0.4
+    assert repro.DHT(c=0.4).c == 0.4
+    assert repro.RWR(c=0.4).c == 0.4
+    assert repro.THT(horizon=5).horizon == 5
+
+
+def test_subpackage_imports():
+    import repro.baselines
+    import repro.bench
+    import repro.core
+    import repro.graph
+    import repro.graph.disk
+    import repro.graph.generators
+    import repro.graph.io
+    import repro.measures
+
+    assert repro.baselines.METHODS
+    assert callable(repro.bench.run_method)
+
+
+def test_docstrings_on_public_entry_points():
+    assert repro.flos_top_k.__doc__
+    assert repro.CSRGraph.__doc__
+    assert repro.FLoSOptions.__doc__
+    assert repro.TopKResult.__doc__
+    for measure in (repro.PHP, repro.EI, repro.DHT, repro.THT, repro.RWR):
+        assert measure.__doc__

@@ -1,0 +1,67 @@
+"""Tests for the Watts–Strogatz generator and FLoS on clustered graphs."""
+
+import numpy as np
+import pytest
+
+from repro import PHP, flos_top_k
+from repro.errors import GraphError
+from repro.graph.generators import watts_strogatz
+from repro.measures import solve_direct
+
+
+class TestGenerator:
+    def test_pure_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert g.num_nodes == 20
+        assert g.num_edges == 40  # n * k / 2
+        # Every node has exactly k neighbors in the unrewired ring.
+        assert all(g.out_degree(u) == 4 for u in range(20))
+
+    def test_ring_structure(self):
+        g = watts_strogatz(10, 2, 0.0)
+        ids, _ = g.neighbors(0)
+        assert sorted(map(int, ids)) == [1, 9]
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(60, 4, 0.0, seed=2)
+        rewired = watts_strogatz(60, 4, 0.5, seed=2)
+        assert not np.array_equal(
+            lattice.edge_list()[0], rewired.edge_list()[0]
+        )
+
+    def test_deterministic(self):
+        a = watts_strogatz(40, 4, 0.3, seed=7)
+        b = watts_strogatz(40, 4, 0.3, seed=7)
+        assert np.array_equal(a.edge_list()[0], b.edge_list()[0])
+
+    def test_validation(self):
+        with pytest.raises(GraphError, match="even"):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(GraphError, match="below"):
+            watts_strogatz(4, 4, 0.1)
+        with pytest.raises(GraphError, match="probability"):
+            watts_strogatz(10, 2, 1.5)
+
+    def test_edge_count_stable_under_rewiring(self):
+        # Rewiring can create duplicates (dropped), so the count may dip
+        # slightly but stays near n*k/2.
+        g = watts_strogatz(200, 6, 0.3, seed=3)
+        assert g.num_edges >= 0.9 * 200 * 3
+
+
+class TestFLoSOnSmallWorld:
+    def test_exactness(self):
+        g = watts_strogatz(300, 6, 0.1, seed=4)
+        res = flos_top_k(g, PHP(0.5), 17, 6)
+        exact = solve_direct(PHP(0.5), g, 17)
+        oracle = PHP(0.5).top_k_from_vector(exact, 17, 6)
+        np.testing.assert_allclose(
+            np.sort(exact[res.nodes]), np.sort(exact[oracle]), atol=1e-5
+        )
+
+    def test_locality_on_lattice(self):
+        """On a pure ring lattice the top-k sit within a few hops, so
+        the visited set stays tiny."""
+        g = watts_strogatz(2000, 6, 0.0, seed=5)
+        res = flos_top_k(g, PHP(0.5), 1000, 5)
+        assert res.stats.visited_nodes < 200

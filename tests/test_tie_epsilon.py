@@ -1,0 +1,89 @@
+"""Tests for the tie-tolerant termination option.
+
+With ``tie_epsilon = 0`` FLoS is strictly exact, which forces visiting
+the query's whole component when the k-th and (k+1)-th values tie
+exactly.  A positive epsilon certifies a top-k exact up to swaps among
+epsilon-close values and terminates locally on tied instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PHP, THT, FLoSOptions, flos_top_k
+from repro.errors import SearchError
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.memory import CSRGraph
+from repro.measures import solve_direct
+
+
+def tied_graph():
+    """A star of long symmetric arms: nodes at equal arm depth tie
+    exactly, and the component is large enough that early termination
+    is observable."""
+    edges = []
+    arms, depth = 8, 5
+    node = 1
+    for _ in range(arms):
+        prev = 0
+        for _ in range(depth):
+            edges.append((prev, node))
+            prev = node
+            node += 1
+    return CSRGraph.from_edges(node, edges)
+
+
+def test_validation():
+    with pytest.raises(SearchError, match="tie_epsilon"):
+        FLoSOptions(tie_epsilon=-1.0)
+
+
+def test_exact_mode_visits_component_on_ties():
+    g = tied_graph()
+    # k = 4 splits the 8 exactly-tied depth-1 nodes: strict exactness
+    # can only be certified by exhausting the component.
+    res = flos_top_k(g, PHP(0.5), 0, 4, options=FLoSOptions(tie_epsilon=0.0))
+    assert res.stats.visited_nodes == g.num_nodes
+
+
+def test_epsilon_mode_terminates_early_on_ties():
+    g = tied_graph()
+    strict = flos_top_k(g, PHP(0.5), 0, 4)
+    loose = flos_top_k(
+        g, PHP(0.5), 0, 4, options=FLoSOptions(tie_epsilon=1e-6)
+    )
+    assert loose.stats.visited_nodes < strict.stats.visited_nodes
+    # The answer is still a valid top-4 up to epsilon: all four returned
+    # nodes have the (tied) maximal exact value.
+    exact = solve_direct(PHP(0.5), g, 0)
+    best = exact[np.arange(1, g.num_nodes)].max()
+    for node in loose.nodes:
+        assert exact[node] == pytest.approx(best, abs=1e-5)
+
+
+def test_epsilon_answers_are_epsilon_valid_on_random_graphs():
+    eps = 1e-4
+    for seed in range(5):
+        g = erdos_renyi(150, 450, seed=seed)
+        q = 3
+        if g.degree(q) == 0:
+            continue
+        res = flos_top_k(
+            g, PHP(0.5), q, 6, options=FLoSOptions(tie_epsilon=eps)
+        )
+        exact = solve_direct(PHP(0.5), g, q)
+        oracle = PHP(0.5).top_k_from_vector(exact, q, 6)
+        worst_returned = exact[res.nodes].min()
+        kth_true = exact[oracle].min()
+        assert worst_returned >= kth_true - 2 * eps
+
+
+def test_epsilon_mode_tht():
+    g = star_graph(12)  # all leaves tie exactly
+    res = flos_top_k(
+        g, THT(10), 0, 5, options=FLoSOptions(tie_epsilon=1e-6)
+    )
+    assert len(res.nodes) == 5
+    exact = solve_direct(THT(10), g, 0)
+    best = exact[np.arange(1, g.num_nodes)].min()
+    for node in res.nodes:
+        assert exact[node] == pytest.approx(best, abs=1e-5)
