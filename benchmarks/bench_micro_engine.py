@@ -3,19 +3,27 @@
 Performance-regression coverage for the three hot paths every FLoS
 query exercises thousands of times: visited-set expansion
 (``LocalView._visit``), the matrix-free mat-vec (``CooOperator``), and
-the warm-started Jacobi solve. The pytest-benchmark table makes
-regressions in any of them visible immediately.
+the warm-started Jacobi solve — plus the serving layer: a
+:class:`~repro.core.session.QuerySession` replaying a repeated-query
+workload against per-request ``flos_top_k`` calls, which quantifies the
+per-query setup amortization the session buys. The pytest-benchmark
+table makes regressions in any of them visible immediately.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.core.api import flos_top_k
 from repro.core.flos import FLoSOptions, PHPSpaceEngine
 from repro.core.iterative import CooOperator, jacobi_solve
 from repro.core.localgraph import LocalView
+from repro.core.session import QuerySession
 from repro.graph.generators import rmat
+from repro.measures import RWR
 
 
 @pytest.fixture(scope="module")
@@ -86,3 +94,77 @@ def test_micro_full_query(benchmark, graph):
 
     outcome = benchmark(query)
     assert outcome.exact
+
+
+def test_micro_session_amortization():
+    """Session reuse vs fresh ``flos_top_k`` on a 75-request workload.
+
+    A serving workload repeats queries (popular nodes are queried over
+    and over), so the workload replays 25 distinct RWR queries three
+    times each.  The fresh path pays per-request setup — measure
+    resolution, option validation, engine wiring — and recomputes every
+    repeat; the session path validates once, shares the degree order,
+    and serves repeats from its LRU.  Results must stay bit-identical.
+    """
+    graph = rmat(12, 40_000, seed=21)
+    k = 10
+    options = FLoSOptions(tie_epsilon=1e-5)
+    rng = np.random.default_rng(20140622)
+    distinct: list[int] = []
+    while len(distinct) < 25:
+        q = int(rng.integers(0, graph.num_nodes))
+        if graph.degree(q) > 0 and q not in distinct:
+            distinct.append(q)
+    workload = distinct * 3  # 75 requests, >= 50
+
+    started = time.perf_counter()
+    fresh = [
+        flos_top_k(
+            graph, "rwr", q, k, options=FLoSOptions(tie_epsilon=1e-5), c=0.5
+        )
+        for q in workload
+    ]
+    fresh_seconds = time.perf_counter() - started
+
+    session = QuerySession(graph, RWR(0.5), options=options)
+    started = time.perf_counter()
+    served = session.top_k_many(workload, k)
+    session_seconds = time.perf_counter() - started
+
+    for a, b in zip(served, fresh):
+        assert list(a.nodes) == list(b.nodes)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.exact == b.exact
+
+    metrics = session.metrics()
+    assert metrics.cache_hits == 50 and metrics.cache_misses == 25
+
+    from repro.bench.tables import format_table, write_report
+
+    speedup = fresh_seconds / session_seconds if session_seconds else float("inf")
+    write_report(
+        "micro_session_amortization",
+        format_table(
+            "per-query setup amortization — 75-request RWR workload "
+            "(25 distinct x 3)",
+            ["path", "total (ms)", "per request (ms)"],
+            [
+                [
+                    "fresh flos_top_k",
+                    fresh_seconds * 1e3,
+                    fresh_seconds / len(workload) * 1e3,
+                ],
+                [
+                    "QuerySession",
+                    session_seconds * 1e3,
+                    session_seconds / len(workload) * 1e3,
+                ],
+            ],
+            note=(
+                f"session reuse is {speedup:.1f}x faster; "
+                f"{metrics.cache_hits} of {metrics.queries_served} requests "
+                "served from the result LRU"
+            ),
+        ),
+    )
+    assert session_seconds < fresh_seconds

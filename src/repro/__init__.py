@@ -14,27 +14,53 @@ Quickstart::
 
 The result is the provably exact top-k under the chosen measure, found by
 visiting only a small neighborhood of the query (``result.stats``).
+
+For serving many queries against one graph, hold a
+:class:`~repro.core.session.QuerySession` — it reuses per-graph state,
+caches recent results, runs batches in parallel, and reports metrics::
+
+    from repro import QuerySession
+
+    session = QuerySession(graph, "rwr", c=0.9)
+    batch = session.top_k_many(range(100), k=10, workers=4)
+    print(session.metrics().to_dict())
+
 See README.md for the architecture overview and DESIGN.md for the
 paper-to-module map.
 """
 
 from repro.core import (
+    BatchSummary,
     FLoSOptions,
+    QuerySession,
     SearchStats,
+    SessionMetrics,
     TopKResult,
     basic_top_k,
     flos_top_k,
     flos_top_k_batch,
 )
 from repro.graph import CSRGraph, GraphAccess, GraphBuilder
-from repro.measures import DHT, EI, PHP, RWR, THT, exact_top_k, solve_direct
+from repro.measures import (
+    DHT,
+    EI,
+    PHP,
+    RWR,
+    THT,
+    exact_top_k,
+    resolve_measure,
+    solve_direct,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "flos_top_k",
     "flos_top_k_batch",
     "basic_top_k",
+    "QuerySession",
+    "SessionMetrics",
+    "BatchSummary",
     "FLoSOptions",
     "TopKResult",
     "SearchStats",
@@ -46,6 +72,7 @@ __all__ = [
     "DHT",
     "THT",
     "RWR",
+    "resolve_measure",
     "solve_direct",
     "exact_top_k",
     "__version__",

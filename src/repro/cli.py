@@ -2,11 +2,13 @@
 
 Commands
 --------
-``generate``   sample a synthetic graph and write it to a file
-``convert``    convert between edge-list / npz / disk-store formats
-``stats``      print summary statistics of a graph file
-``query``      run a top-k proximity query against a graph file
-``datasets``   list or materialise the paper's dataset stand-ins
+``generate``    sample a synthetic graph and write it to a file
+``convert``     convert between edge-list / npz / disk-store formats
+``stats``       print summary statistics of a graph file
+``query``       run a top-k proximity query against a graph file
+``bench serve`` replay a query workload through a QuerySession and
+                print the serving-metrics table
+``datasets``    list or materialise the paper's dataset stand-ins
 
 Graph files are recognised by extension: ``.txt``/``.edges`` (SNAP edge
 list), ``.npz`` (binary CSR), ``.flos`` (paged disk store).
@@ -16,11 +18,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro import __version__
 from repro.core.api import flos_top_k
 from repro.core.flos import FLoSOptions
+from repro.core.session import QuerySession
 from repro.errors import ReproError
 from repro.graph.base import GraphAccess
 from repro.graph.datasets import DATASETS, cache_dir, load_dataset
@@ -29,16 +33,16 @@ from repro.graph.generators import chung_lu, community_graph, erdos_renyi, rmat
 from repro.graph.io import load_npz, read_edgelist, save_npz, write_edgelist
 from repro.graph.memory import CSRGraph
 from repro.graph.stats import graph_stats
-from repro.measures import DHT, EI, PHP, RWR, THT
-from repro.measures.base import Measure
+from repro.measures import Measure, measure_names, resolve_measure
 
-MEASURES = {
-    "php": lambda c, horizon: PHP(c),
-    "ei": lambda c, horizon: EI(c),
-    "dht": lambda c, horizon: DHT(c),
-    "rwr": lambda c, horizon: RWR(c),
-    "tht": lambda c, horizon: THT(horizon),
-}
+MEASURE_CHOICES = measure_names()
+
+
+def measure_from_args(args) -> Measure:
+    """Build the measure named on the command line (c / horizon knobs)."""
+    if args.measure == "tht":
+        return resolve_measure("tht", horizon=args.horizon)
+    return resolve_measure(args.measure, c=args.c)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -93,7 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     qy.add_argument("--query", "-q", type=int, required=True)
     qy.add_argument("--k", type=int, default=10)
     qy.add_argument(
-        "--measure", choices=sorted(MEASURES), default="php"
+        "--measure", choices=MEASURE_CHOICES, default="php"
     )
     qy.add_argument("--c", type=float, default=0.5, help="decay/restart")
     qy.add_argument("--horizon", type=int, default=10, help="THT horizon L")
@@ -111,6 +115,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="page-cache bytes for .flos stores",
     )
     qy.set_defaults(func=cmd_query)
+
+    bench = sub.add_parser(
+        "bench", help="serving benchmarks over a QuerySession"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    serve = bench_sub.add_parser(
+        "serve",
+        help="replay a query workload through one session and print metrics",
+    )
+    serve.add_argument("input", type=Path)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument(
+        "--measure", choices=MEASURE_CHOICES, default="php"
+    )
+    serve.add_argument("--c", type=float, default=0.5, help="decay/restart")
+    serve.add_argument(
+        "--horizon", type=int, default=10, help="THT horizon L"
+    )
+    serve.add_argument("--tau", type=float, default=1e-5)
+    serve.add_argument(
+        "--tie-epsilon",
+        type=float,
+        default=0.0,
+        help="tolerate ties closer than this (0 = strictly exact)",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=50, help="distinct query nodes sampled"
+    )
+    serve.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="workload replays (rounds > 1 exercise the result cache)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="thread-pool fan-out width"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="LRU result-cache entries"
+    )
+    serve.add_argument("--seed", type=int, default=20140622)
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="page-cache bytes for .flos stores",
+    )
+    # argparse namespace defaults set by a parent parser win over a
+    # sub-subparser's, so ``serve`` registers under a distinct dest and
+    # ``cmd_bench`` dispatches on it.
+    serve.set_defaults(bench_func=cmd_bench_serve)
+    bench.set_defaults(func=cmd_bench, bench_parser=bench)
 
     ds = sub.add_parser("datasets", help="list or build dataset stand-ins")
     ds.add_argument(
@@ -177,7 +233,7 @@ def cmd_stats(args) -> int:
 
 
 def cmd_query(args) -> int:
-    measure: Measure = MEASURES[args.measure](args.c, args.horizon)
+    measure: Measure = measure_from_args(args)
     options = FLoSOptions(tau=args.tau, tie_epsilon=args.tie_epsilon)
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:
@@ -201,6 +257,73 @@ def cmd_query(args) -> int:
     )
     if result.exhausted_component:
         print("note: the query's component holds fewer reachable nodes than k")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    args.bench_func = getattr(args, "bench_func", None)
+    if args.bench_func is None:
+        args.bench_parser.print_help()
+        return 2
+    return args.bench_func(args)
+
+
+def cmd_bench_serve(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.bench.workload import sample_queries
+
+    measure = measure_from_args(args)
+    options = FLoSOptions(tau=args.tau, tie_epsilon=args.tie_epsilon)
+    graph = open_graph(args.input, memory_budget=args.memory_budget)
+    try:
+        session = QuerySession(
+            graph, measure, options=options, cache_size=args.cache_size
+        )
+        queries = sample_queries(graph, args.queries, seed=args.seed)
+        for round_no in range(1, max(1, args.rounds) + 1):
+            round_started = time.perf_counter()
+            batch = session.top_k_many(
+                queries, args.k, workers=args.workers
+            )
+            elapsed = time.perf_counter() - round_started
+            print(
+                f"round {round_no}: {len(batch)} queries in "
+                f"{elapsed * 1e3:.1f} ms wall "
+                f"({elapsed / len(batch) * 1e3:.2f} ms/query), "
+                f"all_exact={batch.all_exact}"
+            )
+        metrics = session.metrics()
+    finally:
+        if isinstance(graph, DiskGraph):
+            graph.close()
+
+    d = metrics.to_dict()
+    rows = [
+        ["queries served", d["queries_served"]],
+        ["cache hits", d["cache_hits"]],
+        ["cache misses", d["cache_misses"]],
+        ["cache hit rate", f"{d['cache_hit_rate']:.1%}"],
+        ["visited nodes (total)", d["visited_nodes_total"]],
+        ["expansions (total)", d["expansions_total"]],
+        ["solver iterations (total)", d["solver_iterations_total"]],
+        ["p50 serve time", f"{d['p50_wall_seconds'] * 1e3:.3f} ms"],
+        ["p95 serve time", f"{d['p95_wall_seconds'] * 1e3:.3f} ms"],
+        ["total serve time", f"{d['total_wall_seconds'] * 1e3:.1f} ms"],
+    ]
+    print()
+    print(
+        format_table(
+            f"serving metrics — {measure.name}({measure.params()}), "
+            f"k={args.k}, workers={args.workers}",
+            ["metric", "value"],
+            rows,
+        )
+    )
+    hist = d["visited_histogram"]
+    if hist:
+        print("visited-node histogram (bucket upper bound: queries):")
+        for bucket, count in hist.items():
+            print(f"  <= {bucket:>8}: {count}")
     return 0
 
 

@@ -1,13 +1,19 @@
-"""FLoS core: local view, bound engines, and the public query API."""
+"""FLoS core: local view, bound engines, sessions, and the query API."""
 
 from repro.core.api import flos_top_k
 from repro.core.basic_search import basic_top_k
-from repro.core.batch import BatchSummary, flos_top_k_batch
-from repro.core.degree_index import DegreeIndex
+from repro.core.batch import flos_top_k_batch
+from repro.core.degree_index import DegreeIndex, degree_descending_order
 from repro.core.flos import FLoSOptions, PHPSpaceEngine
 from repro.core.flos_tht import THTEngine
 from repro.core.localgraph import LocalView
-from repro.core.result import IterationSnapshot, SearchStats, TopKResult
+from repro.core.result import (
+    BatchSummary,
+    IterationSnapshot,
+    SearchStats,
+    TopKResult,
+)
+from repro.core.session import QuerySession, SessionMetrics
 
 __all__ = [
     "flos_top_k",
@@ -19,6 +25,9 @@ __all__ = [
     "THTEngine",
     "LocalView",
     "DegreeIndex",
+    "degree_descending_order",
+    "QuerySession",
+    "SessionMetrics",
     "TopKResult",
     "SearchStats",
     "IterationSnapshot",

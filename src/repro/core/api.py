@@ -1,11 +1,19 @@
-"""Public entry point for FLoS top-k queries.
+"""Public entry point for one-shot FLoS top-k queries.
 
-:func:`flos_top_k` accepts any supported measure and dispatches:
+:func:`flos_top_k` accepts any supported measure — an instance or a name
+string — and answers one query through a throwaway
+:class:`~repro.core.session.QuerySession`, which owns the engine
+dispatch:
 
 * PHP / EI / DHT / RWR → :class:`~repro.core.flos.PHPSpaceEngine` with the
   measure's equivalent PHP decay (Theorems 2 and 6), then converts the
   PHP-space bounds into measure-native value bounds;
 * THT → :class:`~repro.core.flos_tht.THTEngine`.
+
+Applications that issue many queries against the same graph should hold
+a :class:`~repro.core.session.QuerySession` instead: it amortises the
+per-graph setup, caches recent results, fans workloads out over a
+thread pool, and reports serving metrics.
 
 The returned :class:`~repro.core.result.TopKResult` carries the certified
 top-k set (closest first), native value bounds for each returned node, and
@@ -14,29 +22,22 @@ search statistics.
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.core.degree_index import DegreeIndex
-from repro.core.flos import EngineOutcome, FLoSOptions, PHPSpaceEngine
-from repro.core.flos_tht import THTEngine
+from repro.core.flos import FLoSOptions
 from repro.core.result import TopKResult
-from repro.errors import SearchError
+from repro.core.session import QuerySession
 from repro.graph.base import GraphAccess
-from repro.graph.memory import CSRGraph
-from repro.measures.base import Direction, Measure, PHPFamilyMeasure
-from repro.measures.tht import THT
+from repro.measures.resolve import MeasureSpec
 
 
 def flos_top_k(
     graph: GraphAccess,
-    measure: Measure,
+    measure: MeasureSpec,
     query: int,
     k: int,
     *,
     options: FLoSOptions | None = None,
     exclude: set[int] | frozenset[int] | None = None,
+    **measure_params,
 ) -> TopKResult:
     """Exact top-k proximity query by fast local search (Algorithm 2).
 
@@ -48,7 +49,10 @@ def flos_top_k(
     measure:
         One of :class:`~repro.measures.PHP`, :class:`~repro.measures.EI`,
         :class:`~repro.measures.DHT`, :class:`~repro.measures.RWR`,
-        :class:`~repro.measures.THT`.
+        :class:`~repro.measures.THT` — or the measure's name string
+        (``"php"``, ``"ei"``, ``"dht"``, ``"rwr"``, ``"tht"``) with its
+        constructor parameters passed as extra keyword arguments, e.g.
+        ``flos_top_k(graph, "rwr", q, 10, c=0.9)``.
     query:
         Query node id.
     k:
@@ -67,151 +71,7 @@ def flos_top_k(
         Certified exact top-k (unless the query's component holds fewer
         than ``k`` other nodes, flagged by ``exhausted_component``).
     """
-    graph.validate_node(query)
-    excluded = frozenset(int(v) for v in exclude) if exclude else frozenset()
-    started = time.perf_counter()
-
-    if graph.degree(query) <= 0.0:
-        # Isolated query: every proximity is degenerate (0 for hitting
-        # probabilities, L for THT); there is no meaningful ranking.
-        return _empty_result(graph, measure, query, k, started)
-
-    if isinstance(measure, THT):
-        engine = THTEngine(
-            graph,
-            query,
-            k,
-            horizon=measure.horizon,
-            options=options,
-            exclude=excluded,
-        )
-        outcome = engine.run()
-        result = _tht_result(measure, outcome, query, k)
-    elif isinstance(measure, PHPFamilyMeasure):
-        degree_bound = None
-        if measure.uses_degree_weighting() and isinstance(graph, CSRGraph):
-            degree_bound = DegreeIndex(graph)
-        engine = PHPSpaceEngine(
-            graph,
-            query,
-            k,
-            decay=measure.php_decay,
-            degree_weighted=measure.uses_degree_weighting(),
-            unvisited_degree_bound=degree_bound,
-            options=options,
-            exclude=excluded,
-        )
-        outcome = engine.run()
-        result = _php_family_result(measure, outcome, graph, query, k)
-    else:
-        raise SearchError(
-            f"measure {measure!r} is not supported by FLoS; supported "
-            "measures are PHP, EI, DHT, RWR (PHP family) and THT"
-        )
-
-    result.stats.wall_time_seconds = time.perf_counter() - started
-    return result
-
-
-# ----------------------------------------------------------------------
-
-
-def _php_family_result(
-    measure: PHPFamilyMeasure,
-    outcome: EngineOutcome,
-    graph: GraphAccess,
-    query: int,
-    k: int,
-) -> TopKResult:
-    view = outcome.view
-    top = outcome.top_locals
-    gids = view.global_ids()
-    degrees = view.degrees_array()
-
-    # Local scale factor (Theorems 2/6): monotone increasing in each
-    # neighbor PHP value, so evaluating it at the neighbor lower (upper)
-    # bounds yields a scale lower (upper) bound.
-    nbr_ids, nbr_probs = graph.transition_probabilities(query)
-    nbr_locals = np.array([view.local_id(int(v)) for v in nbr_ids])
-    w_q = graph.degree(query)
-    scale_lb = measure.query_scale(w_q, nbr_probs, outcome.lower[nbr_locals])
-    scale_ub = measure.query_scale(w_q, nbr_probs, outcome.upper[nbr_locals])
-
-    increasing = measure.direction is Direction.HIGHER_IS_CLOSER
-    php_lb, php_ub = outcome.lower[top], outcome.upper[top]
-    deg = degrees[top]
-    if increasing:
-        lower = np.array(
-            [measure.from_php(p, d, scale_lb) for p, d in zip(php_lb, deg)]
-        )
-        upper = np.array(
-            [measure.from_php(p, d, scale_ub) for p, d in zip(php_ub, deg)]
-        )
-    else:  # DHT: native value decreases in PHP
-        lower = np.array(
-            [measure.from_php(p, d, scale_ub) for p, d in zip(php_ub, deg)]
-        )
-        upper = np.array(
-            [measure.from_php(p, d, scale_lb) for p, d in zip(php_lb, deg)]
-        )
-    values = 0.5 * (lower + upper)
-
-    return TopKResult(
-        query=query,
-        k=k,
-        measure_name=measure.name,
-        nodes=gids[top],
-        values=values,
-        lower=lower,
-        upper=upper,
-        exact=outcome.exact,
-        stats=outcome.stats,
-        exhausted_component=outcome.exhausted_component,
-        trace=outcome.trace,
+    session = QuerySession(
+        graph, measure, options=options, cache_size=0, **measure_params
     )
-
-
-def _tht_result(
-    measure: THT, outcome: EngineOutcome, query: int, k: int
-) -> TopKResult:
-    view = outcome.view
-    top = outcome.top_locals
-    gids = view.global_ids()
-    lower = outcome.lower[top]
-    upper = outcome.upper[top]
-    return TopKResult(
-        query=query,
-        k=k,
-        measure_name=measure.name,
-        nodes=gids[top],
-        values=0.5 * (lower + upper),
-        lower=lower,
-        upper=upper,
-        exact=outcome.exact,
-        stats=outcome.stats,
-        exhausted_component=outcome.exhausted_component,
-        trace=outcome.trace,
-    )
-
-
-def _empty_result(
-    graph: GraphAccess,
-    measure: Measure,
-    query: int,
-    k: int,
-    started: float,
-) -> TopKResult:
-    result = TopKResult(
-        query=query,
-        k=k,
-        measure_name=measure.name,
-        nodes=np.empty(0, dtype=np.int64),
-        values=np.empty(0),
-        lower=np.empty(0),
-        upper=np.empty(0),
-        exact=True,
-        exhausted_component=True,
-    )
-    result.stats.visited_nodes = 1
-    result.stats.wall_time_seconds = time.perf_counter() - started
-    return result
+    return session.top_k(query, k, exclude=exclude)

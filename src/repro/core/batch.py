@@ -1,86 +1,52 @@
 """Batch top-k queries over one graph.
 
 Applications (recommendation backfills, k-NN graph construction) issue
-many queries against the same graph.  ``flos_top_k_batch`` amortises the
-per-graph setup — most importantly the degree-descending order behind
-the RWR guard of Sec. 5.6, which is computed once and shared by every
-query's :class:`~repro.core.degree_index.DegreeIndex` cursor — and
-returns results in workload order with aggregate statistics.
+many queries against the same graph.  ``flos_top_k_batch`` is a thin
+wrapper over a one-shot :class:`~repro.core.session.QuerySession`: the
+session owns the shared per-graph state — most importantly the
+degree-descending order behind the RWR guard of Sec. 5.6, computed once
+and shared by every query's
+:class:`~repro.core.degree_index.DegreeIndex` cursor — and returns
+results in workload order with aggregate statistics.  ``workers > 1``
+fans the batch out over the session's thread pool.
+
+Long-running callers should construct a
+:class:`~repro.core.session.QuerySession` directly and keep it: repeated
+batches then also share the validated options, the result LRU, and the
+cumulative serving metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
-
-from repro.core.api import flos_top_k
-from repro.core.degree_index import _degree_descending_order
 from repro.core.flos import FLoSOptions
-from repro.core.result import TopKResult
-from repro.errors import SearchError
+from repro.core.result import BatchSummary
+from repro.core.session import QuerySession
 from repro.graph.base import GraphAccess
-from repro.graph.memory import CSRGraph
-from repro.measures.base import Measure, PHPFamilyMeasure
+from repro.measures.resolve import MeasureSpec
 
-
-@dataclass
-class BatchSummary:
-    """Aggregate statistics over one batch of queries."""
-
-    results: list[TopKResult]
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(r.stats.wall_time_seconds for r in self.results)
-
-    @property
-    def mean_visited(self) -> float:
-        if not self.results:
-            return 0.0
-        return float(
-            np.mean([r.stats.visited_nodes for r in self.results])
-        )
-
-    @property
-    def all_exact(self) -> bool:
-        return all(r.exact for r in self.results)
-
-    def __iter__(self):
-        return iter(self.results)
-
-    def __len__(self) -> int:
-        return len(self.results)
-
-    def __getitem__(self, index: int) -> TopKResult:
-        return self.results[index]
+__all__ = ["BatchSummary", "flos_top_k_batch"]
 
 
 def flos_top_k_batch(
     graph: GraphAccess,
-    measure: Measure,
+    measure: MeasureSpec,
     queries: Sequence[int] | Iterable[int],
     k: int,
     *,
     options: FLoSOptions | None = None,
+    workers: int = 1,
+    **measure_params,
 ) -> BatchSummary:
     """Run :func:`~repro.core.api.flos_top_k` for every query node.
 
     Equivalent to a loop of single queries but warms the shared
     per-graph caches up front; results come back in input order.
+    ``measure`` may be a name string (see
+    :func:`repro.measures.resolve_measure`).
     """
-    query_list = [int(q) for q in queries]
-    if not query_list:
-        raise SearchError("query batch must not be empty")
-    if (
-        isinstance(measure, PHPFamilyMeasure)
-        and measure.uses_degree_weighting()
-        and isinstance(graph, CSRGraph)
-    ):
-        _degree_descending_order(graph)  # warm the shared sort once
-    results = [
-        flos_top_k(graph, measure, q, k, options=options)
-        for q in query_list
-    ]
-    return BatchSummary(results)
+    session = QuerySession(
+        graph, measure, options=options, cache_size=0, **measure_params
+    )
+    return session.top_k_many(queries, k, workers=workers)

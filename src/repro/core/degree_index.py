@@ -33,7 +33,13 @@ _order_cache: "weakref.WeakKeyDictionary[CSRGraph, np.ndarray]" = (
 )
 
 
-def _degree_descending_order(graph: CSRGraph) -> np.ndarray:
+def degree_descending_order(graph: CSRGraph) -> np.ndarray:
+    """Degree-descending node order, computed once per graph and memoised.
+
+    Sessions hold a strong reference to the returned array so the sort is
+    guaranteed to survive for their lifetime; the weak-keyed cache only
+    ties the memo to the graph object's lifetime.
+    """
     order = _order_cache.get(graph)
     if order is None:
         order = np.argsort(-graph.degrees, kind="stable").astype(np.int64)
@@ -41,12 +47,22 @@ def _degree_descending_order(graph: CSRGraph) -> np.ndarray:
     return order
 
 
-class DegreeIndex:
-    """Exact ``w(S̄)`` for one query: callable on the current LocalView."""
+# Backwards-compatible alias (pre-QuerySession internal name).
+_degree_descending_order = degree_descending_order
 
-    def __init__(self, graph: CSRGraph):
+
+class DegreeIndex:
+    """Exact ``w(S̄)`` for one query: callable on the current LocalView.
+
+    ``order`` lets a long-lived :class:`~repro.core.session.QuerySession`
+    inject its precomputed degree-descending order; each query still gets
+    its own cursor, so instances are cheap and never shared across
+    threads.
+    """
+
+    def __init__(self, graph: CSRGraph, *, order: np.ndarray | None = None):
         self._graph = graph
-        self._order = _degree_descending_order(graph)
+        self._order = order if order is not None else degree_descending_order(graph)
         self._cursor = 0
 
     def __call__(self, view: LocalView) -> float:

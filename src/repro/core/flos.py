@@ -43,7 +43,7 @@ import numpy as np
 from repro.core.iterative import jacobi_solve
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
-from repro.errors import BudgetExceededError, SearchError
+from repro.errors import BudgetExceededError, ConfigurationError, SearchError
 from repro.graph.base import GraphAccess
 
 
@@ -94,16 +94,39 @@ class FLoSOptions:
     record_trace: bool = False
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, k: int | None = None) -> "FLoSOptions":
+        """Check every option once, up front.
+
+        Raises :class:`~repro.errors.ConfigurationError` (a
+        :class:`~repro.errors.SearchError`) on bad values instead of
+        failing deep inside the engine loop.  ``k`` enables the checks
+        that relate options to the query (``max_visited >= k``); it is
+        supplied by :class:`~repro.core.session.QuerySession` and the
+        per-query entry points.  Returns ``self`` for chaining.
+        """
         if self.tau <= 0:
-            raise SearchError("tau must be positive")
+            raise ConfigurationError("tau must be positive")
         if self.expand_batch < 1:
-            raise SearchError("expand_batch must be >= 1")
+            raise ConfigurationError("expand_batch must be >= 1")
         if self.adaptive_divisor < 1:
-            raise SearchError("adaptive_divisor must be >= 1")
+            raise ConfigurationError("adaptive_divisor must be >= 1")
         if self.max_batch < 1:
-            raise SearchError("max_batch must be >= 1")
+            raise ConfigurationError("max_batch must be >= 1")
         if self.tie_epsilon < 0:
-            raise SearchError("tie_epsilon must be non-negative")
+            raise ConfigurationError("tie_epsilon must be non-negative")
+        if self.max_visited is not None:
+            if self.max_visited < 1:
+                raise ConfigurationError("max_visited must be >= 1")
+            if k is not None and self.max_visited < k:
+                raise ConfigurationError(
+                    f"max_visited ({self.max_visited}) must be >= k ({k}): "
+                    "the search can never certify more nodes than it may visit"
+                )
+        if self.max_inner_iterations < 1:
+            raise ConfigurationError("max_inner_iterations must be >= 1")
+        return self
 
     def batch_size(self, visited: int) -> int:
         """Expansion batch for the current visited-set size."""

@@ -26,6 +26,16 @@ class SearchStats:
     def visited_ratio(self, num_nodes: int) -> float:
         return self.visited_nodes / num_nodes if num_nodes else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable mapping of every counter."""
+        return {
+            "visited_nodes": int(self.visited_nodes),
+            "expansions": int(self.expansions),
+            "solver_iterations": int(self.solver_iterations),
+            "neighbor_queries": int(self.neighbor_queries),
+            "wall_time_seconds": float(self.wall_time_seconds),
+        }
+
 
 @dataclass
 class IterationSnapshot:
@@ -78,8 +88,37 @@ class TopKResult:
     def node_set(self) -> set[int]:
         return {int(n) for n in self.nodes}
 
+    def to_dict(self) -> dict:
+        """JSON-serializable serving response (plain python scalars)."""
+        return {
+            "query": int(self.query),
+            "k": int(self.k),
+            "measure": self.measure_name,
+            "nodes": [int(n) for n in self.nodes],
+            "values": [float(v) for v in self.values],
+            "lower": [float(v) for v in self.lower],
+            "upper": [float(v) for v in self.upper],
+            "exact": bool(self.exact),
+            "exhausted_component": bool(self.exhausted_component),
+            "stats": self.stats.to_dict(),
+        }
+
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def __iter__(self):
+        """Yield ``(node, value)`` pairs, closest first."""
+        for node, value in zip(self.nodes, self.values):
+            yield int(node), float(value)
+
+    def __getitem__(self, index):
+        """``result[i] -> (node, value)``; slices return a list of pairs."""
+        if isinstance(index, slice):
+            return [
+                (int(n), float(v))
+                for n, v in zip(self.nodes[index], self.values[index])
+            ]
+        return int(self.nodes[index]), float(self.values[index])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         pairs = ", ".join(
@@ -90,3 +129,35 @@ class TopKResult:
             f"TopKResult({self.measure_name}, q={self.query}, k={self.k}, "
             f"exact={self.exact}, [{pairs}{suffix}])"
         )
+
+
+@dataclass
+class BatchSummary:
+    """Aggregate statistics over one batch of queries (workload order)."""
+
+    results: list[TopKResult]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.stats.wall_time_seconds for r in self.results)
+
+    @property
+    def mean_visited(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(
+            np.mean([r.stats.visited_nodes for r in self.results])
+        )
+
+    @property
+    def all_exact(self) -> bool:
+        return all(r.exact for r in self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> TopKResult:
+        return self.results[index]

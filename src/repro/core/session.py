@@ -1,0 +1,492 @@
+"""Long-lived query sessions: reusable per-graph state for serving.
+
+FLoS answers one query by touching only a small neighborhood (Sec. 5),
+which makes per-query *setup* — degree ordering, option validation,
+measure resolution — a visible fraction of serve time once the same
+graph answers many queries.  :class:`QuerySession` is the serving-layer
+object that owns everything reusable across queries on one
+``(graph, measure)`` pair:
+
+* the degree-descending node order behind the RWR guard of Sec. 5.6
+  (computed once, shared by every query's
+  :class:`~repro.core.degree_index.DegreeIndex` cursor);
+* the resolved measure (name strings accepted, see
+  :func:`repro.measures.resolve_measure`) and its engine dispatch;
+* :class:`~repro.core.flos.FLoSOptions`, validated once at session
+  creation instead of deep inside the engine;
+* a bounded LRU of recent :class:`~repro.core.result.TopKResult`\\ s
+  keyed by ``(query, k, exclude)``;
+* cumulative serving metrics (:meth:`QuerySession.metrics`).
+
+``top_k_many`` fans a workload out over a thread pool.  Every query
+builds its own engine instance (engines are single-use by design), so
+the only shared state is the immutable graph, the shared degree order,
+and the lock-guarded cache/metrics — results are deterministic and
+returned in workload order regardless of ``workers``.
+
+The one-shot helpers :func:`repro.core.api.flos_top_k` and
+:func:`repro.core.batch.flos_top_k_batch` are thin wrappers over a
+throwaway session, so older call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.degree_index import DegreeIndex, degree_descending_order
+from repro.core.flos import EngineOutcome, FLoSOptions, PHPSpaceEngine
+from repro.core.flos_tht import THTEngine
+from repro.core.result import BatchSummary, SearchStats, TopKResult
+from repro.errors import SearchError
+from repro.graph.base import GraphAccess
+from repro.graph.memory import CSRGraph
+from repro.measures.base import Direction, Measure, PHPFamilyMeasure
+from repro.measures.resolve import MeasureSpec, resolve_measure
+from repro.measures.tht import THT
+
+#: Wall-time samples kept for the p50/p95 percentiles (a sliding window,
+#: so long-running sessions report recent serving latency, not history).
+_WALL_TIME_WINDOW = 10_000
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Immutable snapshot of one session's cumulative serving counters.
+
+    ``visited_histogram`` buckets queries by visited-set size into
+    powers of two: key ``b`` counts queries with
+    ``2**(b-1) < visited_nodes <= 2**b`` (key 0 counts empty results).
+    Cache hits reuse a stored result without running an engine, so they
+    advance ``queries_served`` / ``cache_hits`` and the wall-time
+    percentiles but not the engine-work counters.
+    """
+
+    queries_served: int
+    cache_hits: int
+    cache_misses: int
+    visited_nodes_total: int
+    expansions_total: int
+    solver_iterations_total: int
+    visited_histogram: dict[int, int]
+    total_wall_seconds: float
+    p50_wall_seconds: float
+    p95_wall_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.queries_served:
+            return 0.0
+        return self.cache_hits / self.queries_served
+
+    def to_dict(self) -> dict:
+        """JSON-serializable mapping of every counter."""
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "visited_nodes_total": self.visited_nodes_total,
+            "expansions_total": self.expansions_total,
+            "solver_iterations_total": self.solver_iterations_total,
+            "visited_histogram": {
+                str(2**b if b else 0): count
+                for b, count in sorted(self.visited_histogram.items())
+            },
+            "total_wall_seconds": self.total_wall_seconds,
+            "p50_wall_seconds": self.p50_wall_seconds,
+            "p95_wall_seconds": self.p95_wall_seconds,
+        }
+
+
+class _ResultCache:
+    """Bounded LRU of TopKResults; thread safety comes from the caller."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._store: OrderedDict[tuple, TopKResult] = OrderedDict()
+
+    def get(self, key: tuple) -> TopKResult | None:
+        result = self._store.get(key)
+        if result is not None:
+            self._store.move_to_end(key)
+        return result
+
+    def put(self, key: tuple, result: TopKResult) -> None:
+        if self.maxsize <= 0:
+            return
+        self._store[key] = result
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class QuerySession:
+    """Reusable top-k query engine bound to one ``(graph, measure)`` pair.
+
+    Parameters
+    ----------
+    graph:
+        Any :class:`~repro.graph.base.GraphAccess`.
+    measure:
+        A measure instance or a name string (``"php"``, ``"ei"``,
+        ``"dht"``, ``"rwr"``, ``"tht"``); name strings take constructor
+        parameters as keyword arguments (``c=...``, ``horizon=...``).
+    options:
+        :class:`~repro.core.flos.FLoSOptions`, validated here — a bad
+        configuration raises :class:`~repro.errors.ConfigurationError`
+        at session creation, not mid-search.
+    cache_size:
+        Capacity of the LRU result cache (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        graph: GraphAccess,
+        measure: MeasureSpec,
+        *,
+        options: FLoSOptions | None = None,
+        cache_size: int = 256,
+        **measure_params,
+    ):
+        self.graph = graph
+        self.measure: Measure = resolve_measure(measure, **measure_params)
+        self.options = (options or FLoSOptions()).validate()
+        if cache_size < 0:
+            raise SearchError("cache_size must be >= 0")
+
+        if isinstance(self.measure, THT):
+            self._engine_kind = "tht"
+        elif isinstance(self.measure, PHPFamilyMeasure):
+            self._engine_kind = "php"
+        else:
+            raise SearchError(
+                f"measure {self.measure!r} is not supported by FLoS; "
+                "supported measures are PHP, EI, DHT, RWR (PHP family) "
+                "and THT"
+            )
+
+        # Reusable per-graph state: the degree-descending order of the
+        # RWR guard (Sec. 5.6).  Computed once here; every query's
+        # DegreeIndex gets its own cursor over this shared array.
+        self._degree_order: np.ndarray | None = None
+        if (
+            self._engine_kind == "php"
+            and self.measure.uses_degree_weighting()
+            and isinstance(graph, CSRGraph)
+        ):
+            self._degree_order = degree_descending_order(graph)
+
+        self._lock = threading.Lock()
+        self._cache = _ResultCache(cache_size)
+        self._queries_served = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._visited_total = 0
+        self._expansions_total = 0
+        self._solver_iterations_total = 0
+        self._visited_histogram: dict[int, int] = {}
+        self._total_wall_seconds = 0.0
+        self._wall_samples: deque[float] = deque(maxlen=_WALL_TIME_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def top_k(
+        self,
+        query: int,
+        k: int,
+        *,
+        exclude: set[int] | frozenset[int] | None = None,
+    ) -> TopKResult:
+        """Exact top-k for one query (Algorithm 2), cache-aware.
+
+        Results for a repeated ``(query, k, exclude)`` are served from
+        the LRU cache; the returned object is shared, so treat results
+        as read-only (they are by convention already).
+        """
+        started = time.perf_counter()
+        self.options.validate(k)
+        excluded = (
+            frozenset(int(v) for v in exclude) if exclude else frozenset()
+        )
+        key = (int(query), int(k), excluded)
+
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            self._record_hit(time.perf_counter() - started)
+            return cached
+
+        result = self._execute(int(query), int(k), excluded)
+        result.stats.wall_time_seconds = time.perf_counter() - started
+        with self._lock:
+            self._cache.put(key, result)
+        self._record_miss(result)
+        return result
+
+    def top_k_many(
+        self,
+        queries: Sequence[int] | Iterable[int],
+        k: int,
+        *,
+        workers: int = 1,
+        exclude: set[int] | frozenset[int] | None = None,
+    ) -> BatchSummary:
+        """Serve a workload; results come back in workload order.
+
+        ``workers > 1`` fans the queries out over a thread pool when the
+        graph supports concurrent reads
+        (:attr:`~repro.graph.base.GraphAccess.supports_concurrent_reads`
+        — true for the immutable in-memory CSR graph); each query runs
+        in its own single-use engine instance, so parallel results are
+        identical to a serial loop.  Stateful substrates (disk stores,
+        dynamic overlays) silently fall back to serial execution.
+
+        Duplicate queries inside one parallel batch may race past the
+        result cache and be computed more than once; the engines are
+        deterministic, so this only costs duplicate work (visible as
+        extra cache misses in :meth:`metrics`), never divergent
+        results.
+        """
+        query_list = [int(q) for q in queries]
+        if not query_list:
+            raise SearchError("query batch must not be empty")
+        if workers < 1:
+            raise SearchError("workers must be >= 1")
+
+        effective = min(workers, len(query_list))
+        if effective <= 1 or not self.graph.supports_concurrent_reads:
+            results = [
+                self.top_k(q, k, exclude=exclude) for q in query_list
+            ]
+            return BatchSummary(results)
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=effective) as pool:
+            # Executor.map preserves input order, so results land in
+            # workload order no matter which worker finishes first.
+            results = list(
+                pool.map(
+                    lambda q: self.top_k(q, k, exclude=exclude), query_list
+                )
+            )
+        return BatchSummary(results)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> SessionMetrics:
+        """Snapshot of the cumulative serving counters."""
+        with self._lock:
+            samples = np.fromiter(self._wall_samples, dtype=np.float64)
+            return SessionMetrics(
+                queries_served=self._queries_served,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                visited_nodes_total=self._visited_total,
+                expansions_total=self._expansions_total,
+                solver_iterations_total=self._solver_iterations_total,
+                visited_histogram=dict(self._visited_histogram),
+                total_wall_seconds=self._total_wall_seconds,
+                p50_wall_seconds=(
+                    float(np.percentile(samples, 50)) if len(samples) else 0.0
+                ),
+                p95_wall_seconds=(
+                    float(np.percentile(samples, 95)) if len(samples) else 0.0
+                ),
+            )
+
+    @property
+    def cache_size(self) -> int:
+        """Number of results currently resident in the LRU cache."""
+        with self._lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (metrics counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuerySession({type(self.graph).__name__}"
+            f"[{self.graph.num_nodes} nodes], {self.measure!r}, "
+            f"served={self._queries_served})"
+        )
+
+    # ------------------------------------------------------------------
+    # Engine dispatch (the logic formerly inlined in api.flos_top_k)
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, query: int, k: int, excluded: frozenset[int]
+    ) -> TopKResult:
+        graph, measure = self.graph, self.measure
+        graph.validate_node(query)
+
+        if graph.degree(query) <= 0.0:
+            # Isolated query: every proximity is degenerate (0 for
+            # hitting probabilities, L for THT); no meaningful ranking.
+            return self._empty_result(query, k)
+
+        if self._engine_kind == "tht":
+            engine = THTEngine(
+                graph,
+                query,
+                k,
+                horizon=measure.horizon,
+                options=self.options,
+                exclude=excluded,
+            )
+            outcome = engine.run()
+            return self._tht_result(outcome, query, k)
+
+        degree_bound = None
+        if measure.uses_degree_weighting() and isinstance(graph, CSRGraph):
+            degree_bound = DegreeIndex(graph, order=self._degree_order)
+        engine = PHPSpaceEngine(
+            graph,
+            query,
+            k,
+            decay=measure.php_decay,
+            degree_weighted=measure.uses_degree_weighting(),
+            unvisited_degree_bound=degree_bound,
+            options=self.options,
+            exclude=excluded,
+        )
+        outcome = engine.run()
+        return self._php_family_result(outcome, query, k)
+
+    def _php_family_result(
+        self, outcome: EngineOutcome, query: int, k: int
+    ) -> TopKResult:
+        measure: PHPFamilyMeasure = self.measure
+        graph = self.graph
+        view = outcome.view
+        top = outcome.top_locals
+        gids = view.global_ids()
+        degrees = view.degrees_array()
+
+        # Local scale factor (Theorems 2/6): monotone increasing in each
+        # neighbor PHP value, so evaluating it at the neighbor lower
+        # (upper) bounds yields a scale lower (upper) bound.
+        nbr_ids, nbr_probs = graph.transition_probabilities(query)
+        nbr_locals = np.array([view.local_id(int(v)) for v in nbr_ids])
+        w_q = graph.degree(query)
+        scale_lb = measure.query_scale(
+            w_q, nbr_probs, outcome.lower[nbr_locals]
+        )
+        scale_ub = measure.query_scale(
+            w_q, nbr_probs, outcome.upper[nbr_locals]
+        )
+
+        increasing = measure.direction is Direction.HIGHER_IS_CLOSER
+        php_lb, php_ub = outcome.lower[top], outcome.upper[top]
+        deg = degrees[top]
+        if increasing:
+            lower = np.array(
+                [measure.from_php(p, d, scale_lb) for p, d in zip(php_lb, deg)]
+            )
+            upper = np.array(
+                [measure.from_php(p, d, scale_ub) for p, d in zip(php_ub, deg)]
+            )
+        else:  # DHT: native value decreases in PHP
+            lower = np.array(
+                [measure.from_php(p, d, scale_ub) for p, d in zip(php_ub, deg)]
+            )
+            upper = np.array(
+                [measure.from_php(p, d, scale_lb) for p, d in zip(php_lb, deg)]
+            )
+        values = 0.5 * (lower + upper)
+
+        return TopKResult(
+            query=query,
+            k=k,
+            measure_name=measure.name,
+            nodes=gids[top],
+            values=values,
+            lower=lower,
+            upper=upper,
+            exact=outcome.exact,
+            stats=outcome.stats,
+            exhausted_component=outcome.exhausted_component,
+            trace=outcome.trace,
+        )
+
+    def _tht_result(
+        self, outcome: EngineOutcome, query: int, k: int
+    ) -> TopKResult:
+        view = outcome.view
+        top = outcome.top_locals
+        gids = view.global_ids()
+        lower = outcome.lower[top]
+        upper = outcome.upper[top]
+        return TopKResult(
+            query=query,
+            k=k,
+            measure_name=self.measure.name,
+            nodes=gids[top],
+            values=0.5 * (lower + upper),
+            lower=lower,
+            upper=upper,
+            exact=outcome.exact,
+            stats=outcome.stats,
+            exhausted_component=outcome.exhausted_component,
+            trace=outcome.trace,
+        )
+
+    def _empty_result(self, query: int, k: int) -> TopKResult:
+        result = TopKResult(
+            query=query,
+            k=k,
+            measure_name=self.measure.name,
+            nodes=np.empty(0, dtype=np.int64),
+            values=np.empty(0),
+            lower=np.empty(0),
+            upper=np.empty(0),
+            exact=True,
+            exhausted_component=True,
+        )
+        result.stats.visited_nodes = 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Metrics bookkeeping
+    # ------------------------------------------------------------------
+
+    def _record_hit(self, elapsed: float) -> None:
+        with self._lock:
+            self._queries_served += 1
+            self._cache_hits += 1
+            self._total_wall_seconds += elapsed
+            self._wall_samples.append(elapsed)
+
+    def _record_miss(self, result: TopKResult) -> None:
+        stats: SearchStats = result.stats
+        bucket = int(stats.visited_nodes).bit_length()
+        with self._lock:
+            self._queries_served += 1
+            self._cache_misses += 1
+            self._visited_total += stats.visited_nodes
+            self._expansions_total += stats.expansions
+            self._solver_iterations_total += stats.solver_iterations
+            self._visited_histogram[bucket] = (
+                self._visited_histogram.get(bucket, 0) + 1
+            )
+            self._total_wall_seconds += stats.wall_time_seconds
+            self._wall_samples.append(stats.wall_time_seconds)

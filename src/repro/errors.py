@@ -38,6 +38,14 @@ class SearchError(ReproError):
     """A top-k search could not be completed."""
 
 
+class ConfigurationError(SearchError):
+    """Search options are invalid, detected up front at session creation.
+
+    Subclasses :class:`SearchError` so call sites that guarded the old
+    deep-in-the-engine failures keep working unchanged.
+    """
+
+
 class ConvergenceError(SearchError):
     """An iterative solver failed to converge within its iteration budget."""
 

@@ -34,6 +34,13 @@ class GraphAccess(abc.ABC):
     then ``u`` appears in ``neighbors(v)`` with the same weight.
     """
 
+    #: True when reads (``neighbors`` / ``degree``) from multiple threads
+    #: are safe without external locking.  Immutable in-memory substrates
+    #: set this; stateful readers (page caches, mutable overlays) leave it
+    #: False and :meth:`repro.core.session.QuerySession.top_k_many` falls
+    #: back to serial execution for them.
+    supports_concurrent_reads: bool = False
+
     @property
     @abc.abstractmethod
     def num_nodes(self) -> int:

@@ -10,13 +10,17 @@ from repro.measures.exact import (
     solve_direct,
 )
 from repro.measures.php import PHP
+from repro.measures.resolve import MeasureSpec, measure_names, resolve_measure
 from repro.measures.rwr import RWR
 from repro.measures.tht import THT
 
 __all__ = [
     "Direction",
     "Measure",
+    "MeasureSpec",
     "PHPFamilyMeasure",
+    "measure_names",
+    "resolve_measure",
     "PHP",
     "EI",
     "DHT",

@@ -1,0 +1,78 @@
+"""Resolve measure specs — instances or names — to measure objects.
+
+Serving configuration rarely wants to import measure classes: a request
+or a config file says ``"rwr"`` and a restart probability.  The public
+entry points (:func:`repro.flos_top_k`, :class:`repro.QuerySession`, the
+CLI) therefore accept either a :class:`~repro.measures.base.Measure`
+instance or a case-insensitive name string, resolved here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.errors import MeasureError
+from repro.measures.base import Measure
+from repro.measures.dht import DHT
+from repro.measures.ei import EI
+from repro.measures.php import PHP
+from repro.measures.rwr import RWR
+from repro.measures.tht import THT
+
+#: Anything accepted where a measure is expected.
+MeasureSpec = Union[Measure, str]
+
+_FACTORIES: dict[str, Callable[..., Measure]] = {
+    "php": PHP,
+    "ei": EI,
+    "dht": DHT,
+    "rwr": RWR,
+    "tht": THT,
+}
+
+
+def measure_names() -> tuple[str, ...]:
+    """The recognised measure-name strings (lowercase)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def resolve_measure(spec: MeasureSpec, **params) -> Measure:
+    """Turn a measure spec into a :class:`Measure` instance.
+
+    ``spec`` may be an existing instance (returned unchanged; passing
+    constructor ``params`` alongside one is an error because they would
+    be silently ignored) or one of the names ``"php"``, ``"ei"``,
+    ``"dht"``, ``"rwr"``, ``"tht"`` (case-insensitive).  ``params`` are
+    forwarded to the measure constructor — ``c`` for the PHP family,
+    ``horizon`` for THT.
+
+    >>> resolve_measure("rwr", c=0.9)
+    RWR(c=0.9)
+    """
+    if isinstance(spec, Measure):
+        if params:
+            raise MeasureError(
+                "measure parameters "
+                f"{sorted(params)} cannot be combined with an already-"
+                f"constructed measure instance {spec!r}; pass a name "
+                "string instead"
+            )
+        return spec
+    if isinstance(spec, str):
+        factory = _FACTORIES.get(spec.lower())
+        if factory is None:
+            raise MeasureError(
+                f"unknown measure name {spec!r}; expected one of "
+                f"{', '.join(measure_names())}"
+            )
+        try:
+            return factory(**params)
+        except TypeError as err:
+            raise MeasureError(
+                f"invalid parameters {sorted(params)} for measure "
+                f"{spec.lower()!r}: {err}"
+            ) from None
+    raise MeasureError(
+        f"measure spec must be a Measure instance or a name string, "
+        f"got {type(spec).__name__}"
+    )

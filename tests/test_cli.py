@@ -120,6 +120,38 @@ class TestQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBenchServe:
+    def test_serve_prints_metrics_table(self, graph_file, capsys):
+        code = main(
+            [
+                "bench", "serve", str(graph_file),
+                "--queries", "5", "--k", "3", "--rounds", "2",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving metrics" in out
+        assert "cache hits" in out
+        # round 2 replays the same workload: every query hits the LRU
+        assert "cache hit rate            | 50.0%" in out
+        assert "visited-node histogram" in out
+
+    def test_serve_rwr_measure(self, graph_file, capsys):
+        assert main(
+            [
+                "bench", "serve", str(graph_file),
+                "--measure", "rwr", "--c", "0.9",
+                "--queries", "3", "--k", "2", "--rounds", "1",
+            ]
+        ) == 0
+        assert "RWR(c=0.9)" in capsys.readouterr().out
+
+    def test_bench_without_subcommand_prints_help(self, capsys):
+        assert main(["bench"]) == 2
+        assert "serve" in capsys.readouterr().out
+
+
 class TestDatasets:
     def test_list(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -6,7 +6,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_top_level_exports():
@@ -25,6 +25,19 @@ def test_readme_quickstart_runs():
     assert len(result.values) == 10
     assert np.all(result.lower <= result.upper + 1e-12)
     assert result.stats.visited_nodes < graph.num_nodes
+
+
+def test_readme_session_quickstart_runs():
+    """The QuerySession code block from README.md (smaller graph)."""
+    from repro import QuerySession
+    from repro.graph.generators import erdos_renyi
+
+    graph = erdos_renyi(500, 2_000, seed=42)
+    session = QuerySession(graph, "rwr", c=0.9)
+    batch = session.top_k_many(range(10), k=5, workers=4)
+    assert len(batch) == 10
+    metrics = session.metrics().to_dict()
+    assert metrics["queries_served"] == 10
 
 
 def test_measure_constructors_keyword_friendly():
