@@ -109,6 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerate ties closer than this (0 = strictly exact)",
     )
     qy.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock deadline in seconds (anytime result on expiry)",
+    )
+    qy.add_argument(
+        "--max-visited",
+        type=int,
+        default=None,
+        help="visited-node budget",
+    )
+    qy.add_argument(
+        "--on-budget",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help="on budget exhaustion: error out, or return the certified "
+        "anytime answer (default: degrade)",
+    )
+    qy.add_argument(
         "--memory-budget",
         type=int,
         default=64 * 1024 * 1024,
@@ -139,6 +158,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="tolerate ties closer than this (0 = strictly exact)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-query wall-clock deadline in seconds",
+    )
+    serve.add_argument(
+        "--on-budget",
+        choices=["raise", "degrade"],
+        default="degrade",
+        help="on budget exhaustion: error out, or return the certified "
+        "anytime answer (default: degrade)",
     )
     serve.add_argument(
         "--queries", type=int, default=50, help="distinct query nodes sampled"
@@ -234,7 +266,13 @@ def cmd_stats(args) -> int:
 
 def cmd_query(args) -> int:
     measure: Measure = measure_from_args(args)
-    options = FLoSOptions(tau=args.tau, tie_epsilon=args.tie_epsilon)
+    options = FLoSOptions(
+        tau=args.tau,
+        tie_epsilon=args.tie_epsilon,
+        deadline_seconds=args.deadline,
+        max_visited=args.max_visited,
+        on_budget=args.on_budget,
+    )
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:
         result = flos_top_k(graph, measure, args.query, args.k, options=options)
@@ -255,6 +293,12 @@ def cmd_query(args) -> int:
         f"({stats.visited_ratio(graph.num_nodes):.3%}) "
         f"in {stats.wall_time_seconds * 1e3:.1f} ms"
     )
+    if not result.exact:
+        print(
+            f"anytime result: {stats.termination} budget fired before the "
+            f"certificate closed (residual bound gap {stats.bound_gap:.4g}); "
+            "per-node [lower, upper] intervals remain certified"
+        )
     if result.exhausted_component:
         print("note: the query's component holds fewer reachable nodes than k")
     return 0
@@ -273,7 +317,12 @@ def cmd_bench_serve(args) -> int:
     from repro.bench.workload import sample_queries
 
     measure = measure_from_args(args)
-    options = FLoSOptions(tau=args.tau, tie_epsilon=args.tie_epsilon)
+    options = FLoSOptions(
+        tau=args.tau,
+        tie_epsilon=args.tie_epsilon,
+        deadline_seconds=args.deadline,
+        on_budget=args.on_budget,
+    )
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:
         session = QuerySession(
@@ -293,6 +342,7 @@ def cmd_bench_serve(args) -> int:
                 f"all_exact={batch.all_exact}"
             )
         metrics = session.metrics()
+        slow = session.slow_queries()
     finally:
         if isinstance(graph, DiskGraph):
             graph.close()
@@ -306,10 +356,13 @@ def cmd_bench_serve(args) -> int:
         ["visited nodes (total)", d["visited_nodes_total"]],
         ["expansions (total)", d["expansions_total"]],
         ["solver iterations (total)", d["solver_iterations_total"]],
+        ["degraded results", d["degraded_results"]],
         ["p50 serve time", f"{d['p50_wall_seconds'] * 1e3:.3f} ms"],
         ["p95 serve time", f"{d['p95_wall_seconds'] * 1e3:.3f} ms"],
         ["total serve time", f"{d['total_wall_seconds'] * 1e3:.1f} ms"],
     ]
+    for reason, count in d["terminations"].items():
+        rows.append([f"terminated: {reason}", count])
     print()
     print(
         format_table(
@@ -324,6 +377,15 @@ def cmd_bench_serve(args) -> int:
         print("visited-node histogram (bucket upper bound: queries):")
         for bucket, count in hist.items():
             print(f"  <= {bucket:>8}: {count}")
+    if slow:
+        print("slowest queries (worst first):")
+        for entry in slow[:5]:
+            print(
+                f"  q={entry['query']:<8} k={entry['k']:<4} "
+                f"{entry['wall_seconds'] * 1e3:8.2f} ms  "
+                f"visited={entry['visited_nodes']:<8} "
+                f"{entry['termination']}"
+            )
     return 0
 
 

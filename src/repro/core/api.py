@@ -37,6 +37,8 @@ def flos_top_k(
     *,
     options: FLoSOptions | None = None,
     exclude: set[int] | frozenset[int] | None = None,
+    deadline_seconds: float | None = None,
+    on_budget: str | None = None,
     **measure_params,
 ) -> TopKResult:
     """Exact top-k proximity query by fast local search (Algorithm 2).
@@ -64,14 +66,28 @@ def flos_top_k(
         Node ids barred from the answer (e.g. items the user already
         owns).  Excluded nodes still carry walk mass — they are removed
         from the candidate set, not from the graph.
+    deadline_seconds / on_budget:
+        Soft-budget overrides (see
+        :class:`~repro.core.flos.FLoSOptions`): with
+        ``on_budget="degrade"`` an exhausted budget returns an *anytime*
+        result — the current best-k with certified bounds,
+        ``exact=False``, and ``stats.termination`` naming the budget
+        that fired — instead of raising.
 
     Returns
     -------
     TopKResult
         Certified exact top-k (unless the query's component holds fewer
-        than ``k`` other nodes, flagged by ``exhausted_component``).
+        than ``k`` other nodes, flagged by ``exhausted_component``, or a
+        soft budget degraded the search, flagged by ``exact=False``).
     """
     session = QuerySession(
         graph, measure, options=options, cache_size=0, **measure_params
     )
-    return session.top_k(query, k, exclude=exclude)
+    return session.top_k(
+        query,
+        k,
+        exclude=exclude,
+        deadline_seconds=deadline_seconds,
+        on_budget=on_budget,
+    )

@@ -37,6 +37,8 @@ def flos_top_k_batch(
     *,
     options: FLoSOptions | None = None,
     workers: int = 1,
+    deadline_seconds: float | None = None,
+    on_budget: str | None = None,
     **measure_params,
 ) -> BatchSummary:
     """Run :func:`~repro.core.api.flos_top_k` for every query node.
@@ -44,9 +46,19 @@ def flos_top_k_batch(
     Equivalent to a loop of single queries but warms the shared
     per-graph caches up front; results come back in input order.
     ``measure`` may be a name string (see
-    :func:`repro.measures.resolve_measure`).
+    :func:`repro.measures.resolve_measure`).  ``deadline_seconds`` /
+    ``on_budget`` apply per query (see
+    :meth:`~repro.core.session.QuerySession.top_k_many`), so one
+    pathological query degrades to an anytime result instead of
+    stalling the batch.
     """
     session = QuerySession(
         graph, measure, options=options, cache_size=0, **measure_params
     )
-    return session.top_k_many(queries, k, workers=workers)
+    return session.top_k_many(
+        queries,
+        k,
+        workers=workers,
+        deadline_seconds=deadline_seconds,
+        on_budget=on_budget,
+    )

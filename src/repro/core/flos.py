@@ -36,6 +36,7 @@ ablation benchmark measures its effect.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,7 +44,13 @@ import numpy as np
 from repro.core.iterative import jacobi_solve
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
-from repro.errors import BudgetExceededError, ConfigurationError, SearchError
+from repro.errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    DeadlineExceededError,
+    IterationBudgetError,
+    SearchError,
+)
 from repro.graph.base import GraphAccess
 
 
@@ -76,8 +83,24 @@ class FLoSOptions:
     adaptive_divisor: int = 24
     #: Upper limit on one iteration's expansion batch.
     max_batch: int = 4096
-    #: Abort (``BudgetExceededError``) past this many visited nodes.
+    #: Visited-node budget (soft under ``on_budget="degrade"``).
     max_visited: int | None = None
+    #: Outer expansion-iteration budget (soft under ``on_budget="degrade"``).
+    max_iterations: int | None = None
+    #: Wall-clock deadline per query, in seconds.  Checked between
+    #: expansions, so the overshoot is bounded by one expansion batch
+    #: plus one bound refresh — not by the whole search.
+    deadline_seconds: float | None = None
+    #: What to do when a budget (visited / iteration / deadline) is
+    #: exhausted before the certificate closes.  ``"raise"`` aborts with
+    #: :class:`~repro.errors.BudgetExceededError` /
+    #: :class:`~repro.errors.IterationBudgetError` /
+    #: :class:`~repro.errors.DeadlineExceededError`; ``"degrade"``
+    #: returns an *anytime* result — the current best-k by the ranking
+    #: midpoint ``ω·(lb+ub)/2`` with ``exact=False``, certified
+    #: per-node bounds, and ``stats.termination`` / ``stats.bound_gap``
+    #: recording which budget fired and the residual certificate gap.
+    on_budget: str = "raise"
     #: Inner-solver iteration cap.
     max_inner_iterations: int = 10_000
     #: Tie tolerance of the termination certificate.  With the default 0
@@ -124,6 +147,15 @@ class FLoSOptions:
                     f"max_visited ({self.max_visited}) must be >= k ({k}): "
                     "the search can never certify more nodes than it may visit"
                 )
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
+        if self.on_budget not in ("raise", "degrade"):
+            raise ConfigurationError(
+                f"on_budget must be 'raise' or 'degrade', got "
+                f"{self.on_budget!r}"
+            )
         if self.max_inner_iterations < 1:
             raise ConfigurationError("max_inner_iterations must be >= 1")
         return self
@@ -152,7 +184,42 @@ class EngineOutcome:
     trace: list[IterationSnapshot] = field(default_factory=list)
 
 
-class PHPSpaceEngine:
+class SoftBudgetMixin:
+    """Budget checks shared by both FLoS engines (anytime search).
+
+    Engines call :meth:`_budget_reason` once per expansion round (after
+    setting ``self._started`` at the top of ``run``) and either raise or
+    degrade according to ``FLoSOptions.on_budget``.
+    """
+
+    options: FLoSOptions
+    _started: float
+
+    def _budget_reason(self, iteration: int) -> str | None:
+        """Budget exhausted before this iteration may start, or ``None``."""
+        opts = self.options
+        if (
+            opts.max_iterations is not None
+            and iteration > opts.max_iterations
+        ):
+            return "iteration_budget"
+        if (
+            opts.deadline_seconds is not None
+            and time.perf_counter() - self._started >= opts.deadline_seconds
+        ):
+            return "deadline"
+        return None
+
+    def _raise_budget(self, reason: str, iteration: int) -> None:
+        opts = self.options
+        if reason == "iteration_budget":
+            raise IterationBudgetError(iteration - 1, opts.max_iterations)
+        raise DeadlineExceededError(
+            time.perf_counter() - self._started, opts.deadline_seconds
+        )
+
+
+class PHPSpaceEngine(SoftBudgetMixin):
     """FLoS over the PHP recursion ``r = decay · T r + e_q``."""
 
     def __init__(
@@ -197,11 +264,30 @@ class PHPSpaceEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> EngineOutcome:
-        """Execute Algorithm 2 until the top-k set is certified."""
+        """Execute Algorithm 2 until the top-k set is certified.
+
+        Budgets (``max_visited``, ``max_iterations``,
+        ``deadline_seconds``) are checked once per expansion round.  The
+        deadline and iteration budgets are checked at the *top* of the
+        loop — right after the previous round's bound refresh, so the
+        anytime bounds returned under ``on_budget="degrade"`` are
+        current without extra work; the visited budget is checked right
+        after expansion, followed by one bound refresh so the freshly
+        discovered nodes carry solved rather than trivial bounds.  The
+        first round always runs, guaranteeing the query's neighborhood
+        is in the view before any degraded result is assembled.
+        """
         opts = self.options
+        self._started = time.perf_counter()
         iteration = 0
         while True:
             iteration += 1
+            if iteration > 1:
+                reason = self._budget_reason(iteration)
+                if reason is not None:
+                    if opts.on_budget == "raise":
+                        self._raise_budget(reason, iteration)
+                    return self._finalize_degraded(reason, iteration)
             # r_d^t = max upper bound on the boundary of the *previous*
             # iteration (Algorithm 5 line 7); monotone non-increasing.
             boundary_prev = self.view.boundary_mask()
@@ -220,7 +306,10 @@ class PHPSpaceEngine:
                 opts.max_visited is not None
                 and self.view.size > opts.max_visited
             ):
-                raise BudgetExceededError(self.view.size, opts.max_visited)
+                if opts.on_budget == "raise":
+                    raise BudgetExceededError(self.view.size, opts.max_visited)
+                self._update_bounds()
+                return self._finalize_degraded("visited_budget", iteration)
 
             self._update_bounds()
             done, top_locals = self._check_termination()
@@ -239,6 +328,69 @@ class PHPSpaceEngine:
                     stats=self.stats,
                     trace=self.trace,
                 )
+
+    # ------------------------------------------------------------------
+    # Soft budgets (anytime search)
+    # ------------------------------------------------------------------
+
+    def _finalize_degraded(self, reason: str, iteration: int) -> EngineOutcome:
+        """Assemble the anytime result after a soft budget fired.
+
+        The current best-k by the ranking midpoint ``ω·(lb+ub)/2`` is
+        returned with ``exact=False``.  The per-node PHP-space bounds
+        stay certified — Theorems 3 and 5 hold for *every* visited set,
+        not only the final one — and ``stats.bound_gap`` records how far
+        the best rival's upper bound still overlaps the k-th returned
+        lower bound in ranking-score space (0 means the certificate
+        closed and the result is exact in all but name).
+        """
+        lb_score, ub_score = self._ranking_bounds()
+        eligible = np.flatnonzero(
+            self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        )
+        mid = 0.5 * (lb_score + ub_score)
+        order = np.lexsort((eligible, -mid[eligible]))
+        top = eligible[order[: self.k]]
+
+        gap = 0.0
+        if len(top):
+            min_top = float(lb_score[top].min())
+            others = self._eligible_mask(np.ones(self.view.size, dtype=bool))
+            others[top] = False
+            rest = np.flatnonzero(others)
+            if len(rest):
+                gap = float(ub_score[rest].max()) - min_top
+            # Unvisited rivals: unlike the exact certificate (whose
+            # top-k is settled, so every boundary node is in ``rest``),
+            # the degraded top-k may itself sit on the boundary — so the
+            # Corollary 1 / Sec. 5.6 cap on unvisited nodes must be
+            # added explicitly.
+            boundary = np.flatnonzero(self.view.boundary_mask())
+            if len(boundary):
+                if self.degree_weighted:
+                    w_out = self._max_unvisited_degree()
+                    unvisited_cap = w_out * float(self._ub[boundary].max())
+                else:
+                    unvisited_cap = float(ub_score[boundary].max())
+                gap = max(gap, unvisited_cap - min_top)
+            gap = max(0.0, gap)
+
+        self.stats.visited_nodes = self.view.size
+        self.stats.neighbor_queries = self.view.neighbor_queries
+        self.stats.termination = reason
+        self.stats.bound_gap = gap
+        if self.options.record_trace:
+            self._record(iteration, np.empty(0, np.int64), [], True)
+        return EngineOutcome(
+            view=self.view,
+            top_locals=top,
+            lower=self._lb.copy(),
+            upper=np.maximum(self._lb, self._ub),
+            exact=False,
+            exhausted_component=False,
+            stats=self.stats,
+            trace=self.trace,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 3 — LocalExpansion
@@ -337,17 +489,20 @@ class PHPSpaceEngine:
                     mask[local] = False
         return mask
 
+    def _ranking_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bounds in ranking-score space (``ω·lb``, ``ω·ub``)."""
+        if self.degree_weighted:
+            weights = self.view.degrees_array()
+            return self._lb * weights, self._ub * weights
+        return self._lb, self._ub
+
     def _check_termination(self) -> tuple[bool, np.ndarray]:
         settled = self._eligible_mask(self.view.settled_mask())
         candidates = np.flatnonzero(settled)
         if len(candidates) < self.k:
             return False, candidates
 
-        weights = (
-            self.view.degrees_array() if self.degree_weighted else None
-        )
-        lb_score = self._lb * weights if weights is not None else self._lb
-        ub_score = self._ub * weights if weights is not None else self._ub
+        lb_score, ub_score = self._ranking_bounds()
 
         cand_scores = lb_score[candidates]
         if self.k < len(candidates):

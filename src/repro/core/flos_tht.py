@@ -44,9 +44,11 @@ whose upper bound is below ``L``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.flos import EngineOutcome, FLoSOptions
+from repro.core.flos import EngineOutcome, FLoSOptions, SoftBudgetMixin
 from repro.core.iterative import finite_horizon_solve
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
@@ -54,7 +56,7 @@ from repro.errors import BudgetExceededError, SearchError
 from repro.graph.base import GraphAccess
 
 
-class THTEngine:
+class THTEngine(SoftBudgetMixin):
     """FLoS for truncated hitting time with horizon ``L``."""
 
     def __init__(
@@ -89,10 +91,21 @@ class THTEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> EngineOutcome:
+        """Run until certified, with the same soft-budget schedule as
+        :meth:`repro.core.flos.PHPSpaceEngine.run` (deadline/iteration
+        budgets at the top of the loop, visited budget after expansion
+        followed by one bound refresh)."""
         opts = self.options
+        self._started = time.perf_counter()
         iteration = 0
         while True:
             iteration += 1
+            if iteration > 1:
+                reason = self._budget_reason(iteration)
+                if reason is not None:
+                    if opts.on_budget == "raise":
+                        self._raise_budget(reason, iteration)
+                    return self._finalize_degraded(reason, iteration)
             expanded = self._select_expansion()
             if len(expanded) == 0:
                 return self._finalize_exhausted(iteration)
@@ -101,7 +114,10 @@ class THTEngine:
                 opts.max_visited is not None
                 and self.view.size > opts.max_visited
             ):
-                raise BudgetExceededError(self.view.size, opts.max_visited)
+                if opts.on_budget == "raise":
+                    raise BudgetExceededError(self.view.size, opts.max_visited)
+                self._update_bounds()
+                return self._finalize_degraded("visited_budget", iteration)
             self._update_bounds()
             done, top_locals = self._check_termination()
             if opts.record_trace:
@@ -209,6 +225,52 @@ class THTEngine:
         if len(rest) and float(self._lb[rest].min()) < max_top:
             return False, top
         return True, top
+
+    def _finalize_degraded(self, reason: str, iteration: int) -> EngineOutcome:
+        """Anytime result after a soft budget fired (mirror of the
+        PHP-space engine with the direction flipped: rank by the
+        midpoint ascending, gap = how far the worst returned upper bound
+        still exceeds the best rival's lower bound)."""
+        eligible = np.flatnonzero(
+            self._eligible_mask(np.ones(self.view.size, dtype=bool))
+        )
+        mid = 0.5 * (self._lb + self._ub)
+        order = np.lexsort((eligible, mid[eligible]))
+        top = eligible[order[: self.k]]
+
+        gap = 0.0
+        if len(top):
+            max_top = float(self._ub[top].max())
+            others = self._eligible_mask(np.ones(self.view.size, dtype=bool))
+            others[top] = False
+            rest = np.flatnonzero(others)
+            if len(rest):
+                gap = max_top - float(self._lb[rest].min())
+            # Unvisited rivals (Lemma 7): within the horizon they are
+            # bounded below by the boundary's own lower bounds, which may
+            # not all be in ``rest`` when the degraded top-k includes
+            # boundary nodes.
+            boundary = np.flatnonzero(self.view.boundary_mask())
+            if len(boundary):
+                gap = max(gap, max_top - float(self._lb[boundary].min()))
+            gap = max(0.0, gap)
+
+        self.stats.visited_nodes = self.view.size
+        self.stats.neighbor_queries = self.view.neighbor_queries
+        self.stats.termination = reason
+        self.stats.bound_gap = gap
+        if self.options.record_trace:
+            self._record(iteration, np.empty(0, np.int64), [], True)
+        return EngineOutcome(
+            view=self.view,
+            top_locals=top,
+            lower=self._lb.copy(),
+            upper=np.maximum(self._lb, self._ub),
+            exact=False,
+            exhausted_component=False,
+            stats=self.stats,
+            trace=self.trace,
+        )
 
     def _finalize_exhausted(self, iteration: int) -> EngineOutcome:
         self._update_bounds()

@@ -7,6 +7,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+#: Valid values of :attr:`SearchStats.termination`.
+TERMINATION_REASONS = (
+    "exact",
+    "deadline",
+    "visited_budget",
+    "iteration_budget",
+)
+
+
 @dataclass
 class SearchStats:
     """Work counters common to all top-k algorithms.
@@ -15,6 +24,16 @@ class SearchStats:
     nodes whose neighbor lists were fetched plus those discovered on the
     boundary.  The visited-node *ratio* of Figure 9 / 13 is
     ``visited_nodes / graph.num_nodes``.
+
+    ``termination`` records why the search stopped: ``"exact"`` when the
+    certificate of Algorithm 6 closed, or one of ``"deadline"``,
+    ``"visited_budget"``, ``"iteration_budget"`` when a soft budget
+    (``FLoSOptions(on_budget="degrade")``) cut the search short.
+    ``bound_gap`` is the residual certificate gap in ranking-score space
+    (PHP-space, degree-weighted for RWR; hitting-time space for THT):
+    how far the best rival's bound still overlaps the k-th returned
+    node's bound.  It is 0 for exact results and shrinks toward 0 as an
+    anytime search is given more budget.
     """
 
     visited_nodes: int = 0
@@ -22,6 +41,8 @@ class SearchStats:
     solver_iterations: int = 0
     neighbor_queries: int = 0
     wall_time_seconds: float = 0.0
+    termination: str = "exact"
+    bound_gap: float = 0.0
 
     def visited_ratio(self, num_nodes: int) -> float:
         return self.visited_nodes / num_nodes if num_nodes else 0.0
@@ -34,6 +55,8 @@ class SearchStats:
             "solver_iterations": int(self.solver_iterations),
             "neighbor_queries": int(self.neighbor_queries),
             "wall_time_seconds": float(self.wall_time_seconds),
+            "termination": str(self.termination),
+            "bound_gap": float(self.bound_gap),
         }
 
 
@@ -58,6 +81,13 @@ class TopKResult:
     native proximity (point estimates); ``lower`` / ``upper`` hold native
     value bounds when the algorithm produces them (exact local search),
     and equal ``values`` for methods that compute proximity directly.
+
+    ``exact=False`` marks an *anytime* result: a soft budget
+    (``FLoSOptions(on_budget="degrade")``) stopped the search before the
+    top-k certificate closed.  The ``lower`` / ``upper`` intervals are
+    still certified — every returned node's true proximity lies inside
+    its interval — and ``stats.termination`` / ``stats.bound_gap`` say
+    which budget fired and how far the certificate was from closing.
     """
 
     query: int

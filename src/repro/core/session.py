@@ -15,8 +15,20 @@ object that owns everything reusable across queries on one
 * :class:`~repro.core.flos.FLoSOptions`, validated once at session
   creation instead of deep inside the engine;
 * a bounded LRU of recent :class:`~repro.core.result.TopKResult`\\ s
-  keyed by ``(query, k, exclude)``;
-* cumulative serving metrics (:meth:`QuerySession.metrics`).
+  keyed by ``(query, k, exclude)`` (exact results only);
+* cumulative serving metrics (:meth:`QuerySession.metrics`), including
+  per-termination-reason counters for anytime/degraded results, and a
+  slow-query log (:meth:`QuerySession.slow_queries`).
+
+Deadline-aware serving: every budget in
+:class:`~repro.core.flos.FLoSOptions` (``max_visited``,
+``max_iterations``, ``deadline_seconds``) is *soft* under
+``on_budget="degrade"`` — a query that exhausts its budget returns an
+anytime result with certified bounds instead of raising, which is what
+bounds tail latency on pathological queries (e.g. near-ties that would
+otherwise force visiting the whole component).  ``top_k`` and
+``top_k_many`` take per-call ``deadline_seconds`` / ``on_budget``
+overrides.
 
 ``top_k_many`` fans a workload out over a thread pool.  Every query
 builds its own engine instance (engines are single-use by design), so
@@ -31,10 +43,11 @@ throwaway session, so older call sites keep working unchanged.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -65,6 +78,13 @@ class SessionMetrics:
     Cache hits reuse a stored result without running an engine, so they
     advance ``queries_served`` / ``cache_hits`` and the wall-time
     percentiles but not the engine-work counters.
+
+    ``degraded_results`` counts engine runs that returned an anytime
+    result (``exact=False``) because a soft budget fired
+    (``on_budget="degrade"``); ``terminations`` counts engine runs by
+    ``stats.termination`` reason (``"exact"``, ``"deadline"``,
+    ``"visited_budget"``, ``"iteration_budget"``).  Both count engine
+    runs only — cache hits replay a stored result and touch neither.
     """
 
     queries_served: int
@@ -77,6 +97,8 @@ class SessionMetrics:
     total_wall_seconds: float
     p50_wall_seconds: float
     p95_wall_seconds: float
+    degraded_results: int
+    terminations: dict[str, int]
 
     @property
     def cache_hit_rate(self) -> float:
@@ -101,6 +123,11 @@ class SessionMetrics:
             "total_wall_seconds": self.total_wall_seconds,
             "p50_wall_seconds": self.p50_wall_seconds,
             "p95_wall_seconds": self.p95_wall_seconds,
+            "degraded_results": self.degraded_results,
+            "terminations": {
+                reason: count
+                for reason, count in sorted(self.terminations.items())
+            },
         }
 
 
@@ -148,7 +175,14 @@ class QuerySession:
         configuration raises :class:`~repro.errors.ConfigurationError`
         at session creation, not mid-search.
     cache_size:
-        Capacity of the LRU result cache (0 disables caching).
+        Capacity of the LRU result cache (0 disables caching).  Only
+        exact results are cached: anytime results (``exact=False``)
+        depend on the budget that produced them — and on wall-clock
+        scheduling for deadlines — so replaying one later could serve a
+        worse answer than the caller's budget allows.
+    slow_log_size:
+        Number of worst-latency queries retained by
+        :meth:`slow_queries` (0 disables the log).
     """
 
     def __init__(
@@ -158,6 +192,7 @@ class QuerySession:
         *,
         options: FLoSOptions | None = None,
         cache_size: int = 256,
+        slow_log_size: int = 32,
         **measure_params,
     ):
         self.graph = graph
@@ -165,6 +200,8 @@ class QuerySession:
         self.options = (options or FLoSOptions()).validate()
         if cache_size < 0:
             raise SearchError("cache_size must be >= 0")
+        if slow_log_size < 0:
+            raise SearchError("slow_log_size must be >= 0")
 
         if isinstance(self.measure, THT):
             self._engine_kind = "tht"
@@ -199,6 +236,14 @@ class QuerySession:
         self._visited_histogram: dict[int, int] = {}
         self._total_wall_seconds = 0.0
         self._wall_samples: deque[float] = deque(maxlen=_WALL_TIME_WINDOW)
+        self._degraded_results = 0
+        self._terminations: dict[str, int] = {}
+        # Slow-query log: min-heap of (wall_seconds, seq, entry) keeping
+        # the worst ``slow_log_size`` engine runs; ``seq`` breaks ties so
+        # dict entries are never compared.
+        self._slow_log_size = slow_log_size
+        self._slow_log: list[tuple[float, int, dict]] = []
+        self._slow_seq = 0
 
     # ------------------------------------------------------------------
     # Serving
@@ -210,15 +255,27 @@ class QuerySession:
         k: int,
         *,
         exclude: set[int] | frozenset[int] | None = None,
+        deadline_seconds: float | None = None,
+        on_budget: str | None = None,
     ) -> TopKResult:
-        """Exact top-k for one query (Algorithm 2), cache-aware.
+        """Top-k for one query (Algorithm 2), cache-aware.
 
         Results for a repeated ``(query, k, exclude)`` are served from
         the LRU cache; the returned object is shared, so treat results
         as read-only (they are by convention already).
+
+        ``deadline_seconds`` / ``on_budget`` override the session-level
+        :class:`~repro.core.flos.FLoSOptions` for this call only — e.g.
+        a latency-sensitive caller passes
+        ``deadline_seconds=0.05, on_budget="degrade"`` to get the best
+        certified answer 50 ms can buy (``exact=False`` when the budget
+        fires; see ``stats.termination``).  To lift a session-level
+        deadline for one call, pass ``deadline_seconds=float("inf")``.
+        Anytime results are never cached.
         """
         started = time.perf_counter()
-        self.options.validate(k)
+        options = self._per_call_options(deadline_seconds, on_budget)
+        options.validate(k)
         excluded = (
             frozenset(int(v) for v in exclude) if exclude else frozenset()
         )
@@ -230,10 +287,11 @@ class QuerySession:
             self._record_hit(time.perf_counter() - started)
             return cached
 
-        result = self._execute(int(query), int(k), excluded)
+        result = self._execute(int(query), int(k), excluded, options)
         result.stats.wall_time_seconds = time.perf_counter() - started
-        with self._lock:
-            self._cache.put(key, result)
+        if result.exact:
+            with self._lock:
+                self._cache.put(key, result)
         self._record_miss(result)
         return result
 
@@ -244,6 +302,8 @@ class QuerySession:
         *,
         workers: int = 1,
         exclude: set[int] | frozenset[int] | None = None,
+        deadline_seconds: float | None = None,
+        on_budget: str | None = None,
     ) -> BatchSummary:
         """Serve a workload; results come back in workload order.
 
@@ -260,6 +320,12 @@ class QuerySession:
         deterministic, so this only costs duplicate work (visible as
         extra cache misses in :meth:`metrics`), never divergent
         results.
+
+        ``deadline_seconds`` / ``on_budget`` apply *per query* (each
+        query gets the full deadline), exactly as in :meth:`top_k` —
+        under ``on_budget="degrade"`` a pathological query in the
+        workload degrades to an anytime result instead of stalling its
+        worker, so batch latency stays bounded.
         """
         query_list = [int(q) for q in queries]
         if not query_list:
@@ -267,23 +333,25 @@ class QuerySession:
         if workers < 1:
             raise SearchError("workers must be >= 1")
 
+        def one(q: int) -> TopKResult:
+            return self.top_k(
+                q,
+                k,
+                exclude=exclude,
+                deadline_seconds=deadline_seconds,
+                on_budget=on_budget,
+            )
+
         effective = min(workers, len(query_list))
         if effective <= 1 or not self.graph.supports_concurrent_reads:
-            results = [
-                self.top_k(q, k, exclude=exclude) for q in query_list
-            ]
-            return BatchSummary(results)
+            return BatchSummary([one(q) for q in query_list])
 
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=effective) as pool:
             # Executor.map preserves input order, so results land in
             # workload order no matter which worker finishes first.
-            results = list(
-                pool.map(
-                    lambda q: self.top_k(q, k, exclude=exclude), query_list
-                )
-            )
+            results = list(pool.map(one, query_list))
         return BatchSummary(results)
 
     # ------------------------------------------------------------------
@@ -309,7 +377,22 @@ class QuerySession:
                 p95_wall_seconds=(
                     float(np.percentile(samples, 95)) if len(samples) else 0.0
                 ),
+                degraded_results=self._degraded_results,
+                terminations=dict(self._terminations),
             )
+
+    def slow_queries(self) -> list[dict]:
+        """The worst-latency engine runs, slowest first.
+
+        Each entry is a JSON-serializable dict:
+        ``{"query", "k", "wall_seconds", "visited_nodes", "termination",
+        "exact"}``.  The log keeps the ``slow_log_size`` slowest engine
+        runs seen so far (cache hits are never logged); use it to find
+        the pathological queries that deserve a per-call deadline.
+        """
+        with self._lock:
+            worst = sorted(self._slow_log, key=lambda t: (-t[0], t[1]))
+        return [dict(entry) for _, _, entry in worst]
 
     @property
     def cache_size(self) -> int:
@@ -333,8 +416,27 @@ class QuerySession:
     # Engine dispatch (the logic formerly inlined in api.flos_top_k)
     # ------------------------------------------------------------------
 
+    def _per_call_options(
+        self, deadline_seconds: float | None, on_budget: str | None
+    ) -> FLoSOptions:
+        """Session options with per-call budget overrides applied."""
+        if deadline_seconds is None and on_budget is None:
+            return self.options
+        overrides: dict = {}
+        if deadline_seconds is not None:
+            overrides["deadline_seconds"] = float(deadline_seconds)
+        if on_budget is not None:
+            overrides["on_budget"] = on_budget
+        # replace() rebuilds the frozen dataclass, re-validating via
+        # __post_init__, so a bad override raises ConfigurationError here.
+        return replace(self.options, **overrides)
+
     def _execute(
-        self, query: int, k: int, excluded: frozenset[int]
+        self,
+        query: int,
+        k: int,
+        excluded: frozenset[int],
+        options: FLoSOptions,
     ) -> TopKResult:
         graph, measure = self.graph, self.measure
         graph.validate_node(query)
@@ -350,7 +452,7 @@ class QuerySession:
                 query,
                 k,
                 horizon=measure.horizon,
-                options=self.options,
+                options=options,
                 exclude=excluded,
             )
             outcome = engine.run()
@@ -366,7 +468,7 @@ class QuerySession:
             decay=measure.php_decay,
             degree_weighted=measure.uses_degree_weighting(),
             unvisited_degree_bound=degree_bound,
-            options=self.options,
+            options=options,
             exclude=excluded,
         )
         outcome = engine.run()
@@ -490,3 +592,23 @@ class QuerySession:
             )
             self._total_wall_seconds += stats.wall_time_seconds
             self._wall_samples.append(stats.wall_time_seconds)
+            if not result.exact:
+                self._degraded_results += 1
+            self._terminations[stats.termination] = (
+                self._terminations.get(stats.termination, 0) + 1
+            )
+            if self._slow_log_size > 0:
+                entry = {
+                    "query": int(result.query),
+                    "k": int(result.k),
+                    "wall_seconds": float(stats.wall_time_seconds),
+                    "visited_nodes": int(stats.visited_nodes),
+                    "termination": str(stats.termination),
+                    "exact": bool(result.exact),
+                }
+                item = (float(stats.wall_time_seconds), self._slow_seq, entry)
+                self._slow_seq += 1
+                if len(self._slow_log) < self._slow_log_size:
+                    heapq.heappush(self._slow_log, item)
+                elif item[0] > self._slow_log[0][0]:
+                    heapq.heapreplace(self._slow_log, item)

@@ -60,7 +60,13 @@ class ConvergenceError(SearchError):
 
 
 class BudgetExceededError(SearchError):
-    """A search exceeded its visited-node budget before it could terminate."""
+    """A search exceeded its visited-node budget before it could terminate.
+
+    Raised only under ``FLoSOptions(on_budget="raise")`` (the default);
+    with ``on_budget="degrade"`` the search returns an anytime
+    :class:`~repro.core.result.TopKResult` instead (see
+    ``docs/serving.md``).
+    """
 
     def __init__(self, visited: int, budget: int):
         super().__init__(
@@ -68,4 +74,36 @@ class BudgetExceededError(SearchError):
             "before the termination criterion was met"
         )
         self.visited = visited
+        self.budget = budget
+
+
+class DeadlineExceededError(SearchError):
+    """A search ran past its wall-clock deadline before it could terminate.
+
+    Raised only under ``FLoSOptions(on_budget="raise")``; with
+    ``on_budget="degrade"`` the search returns an anytime result instead.
+    """
+
+    def __init__(self, elapsed: float, deadline: float):
+        super().__init__(
+            f"search ran for {elapsed:.4f}s, exceeding its deadline of "
+            f"{deadline:.4f}s before the termination criterion was met"
+        )
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class IterationBudgetError(SearchError):
+    """A search exhausted its outer-iteration budget before terminating.
+
+    Raised only under ``FLoSOptions(on_budget="raise")``; with
+    ``on_budget="degrade"`` the search returns an anytime result instead.
+    """
+
+    def __init__(self, iterations: int, budget: int):
+        super().__init__(
+            f"search ran {iterations} expansion iterations, exhausting its "
+            f"budget of {budget} before the termination criterion was met"
+        )
+        self.iterations = iterations
         self.budget = budget

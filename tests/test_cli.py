@@ -119,6 +119,44 @@ class TestQuery:
         assert main(["query", str(graph_file), "-q", "9999"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_query_visited_budget_degrades(self, graph_file, capsys):
+        code = main(
+            [
+                "query", str(graph_file), "-q", "3", "--k", "3",
+                "--max-visited", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anytime result: visited_budget" in out
+        assert "residual bound gap" in out
+
+    def test_query_budget_raise_policy(self, graph_file, capsys):
+        code = main(
+            [
+                "query", str(graph_file), "-q", "3", "--k", "3",
+                "--max-visited", "8", "--on-budget", "raise",
+            ]
+        )
+        assert code == 1
+        assert "exceeding its budget" in capsys.readouterr().err
+
+    def test_query_generous_deadline_stays_exact(self, graph_file, capsys):
+        code = main(
+            [
+                "query", str(graph_file), "-q", "3", "--k", "3",
+                "--deadline", "60",
+            ]
+        )
+        assert code == 0
+        assert "anytime result" not in capsys.readouterr().out
+
+    def test_bad_deadline_rejected(self, graph_file, capsys):
+        assert main(
+            ["query", str(graph_file), "-q", "3", "--deadline", "-1"]
+        ) == 1
+        assert "deadline_seconds" in capsys.readouterr().err
+
 
 class TestBenchServe:
     def test_serve_prints_metrics_table(self, graph_file, capsys):
@@ -150,6 +188,22 @@ class TestBenchServe:
     def test_bench_without_subcommand_prints_help(self, capsys):
         assert main(["bench"]) == 2
         assert "serve" in capsys.readouterr().out
+
+    def test_serve_reports_terminations_and_slow_queries(
+        self, graph_file, capsys
+    ):
+        code = main(
+            [
+                "bench", "serve", str(graph_file),
+                "--queries", "4", "--k", "3", "--rounds", "1",
+                "--deadline", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded results" in out
+        assert "terminated: exact" in out
+        assert "slowest queries" in out
 
 
 class TestDatasets:

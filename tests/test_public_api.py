@@ -6,7 +6,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_top_level_exports():
@@ -60,6 +60,42 @@ def test_subpackage_imports():
 
     assert repro.baselines.METHODS
     assert callable(repro.bench.run_method)
+
+
+def test_search_stats_to_dict_round_trips_anytime_fields():
+    """stats.termination / bound_gap survive a JSON round trip."""
+    import json
+
+    from repro import SearchStats
+
+    stats = SearchStats(
+        visited_nodes=42, termination="deadline", bound_gap=0.125
+    )
+    payload = json.loads(json.dumps(stats.to_dict()))
+    assert payload["termination"] == "deadline"
+    assert payload["bound_gap"] == 0.125
+    restored = SearchStats(**payload)
+    assert restored.to_dict() == stats.to_dict()
+
+
+def test_session_metrics_to_dict_round_trips_degradation_fields():
+    """degraded_results / terminations are JSON-serializable counters."""
+    import json
+
+    from repro import FLoSOptions, QuerySession
+    from repro.graph.generators import erdos_renyi
+
+    graph = erdos_renyi(300, 900, seed=11)
+    session = QuerySession(
+        graph,
+        "php",
+        c=0.5,
+        options=FLoSOptions(max_visited=12, on_budget="degrade"),
+    )
+    session.top_k(5, 4)
+    payload = json.loads(json.dumps(session.metrics().to_dict()))
+    assert payload["degraded_results"] == 1
+    assert payload["terminations"] == {"visited_budget": 1}
 
 
 def test_docstrings_on_public_entry_points():
