@@ -24,6 +24,7 @@ from pathlib import Path
 from repro import __version__
 from repro.core.api import flos_top_k
 from repro.core.flos import FLoSOptions
+from repro.core.kernels import SOLVERS
 from repro.core.session import QuerySession
 from repro.errors import ReproError
 from repro.graph.base import GraphAccess
@@ -128,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         "anytime answer (default: degrade)",
     )
     qy.add_argument(
+        "--solver",
+        choices=SOLVERS,
+        default=None,
+        help="bound-refresh kernel (default: the library default, "
+        '"fused"; "jacobi" is the legacy reference path)',
+    )
+    qy.add_argument(
         "--memory-budget",
         type=int,
         default=64 * 1024 * 1024,
@@ -186,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--cache-size", type=int, default=256, help="LRU result-cache entries"
+    )
+    serve.add_argument(
+        "--solver",
+        choices=SOLVERS,
+        default=None,
+        help="bound-refresh kernel (default: the library default, "
+        '"fused"; "jacobi" is the legacy reference path)',
     )
     serve.add_argument("--seed", type=int, default=20140622)
     serve.add_argument(
@@ -266,12 +281,14 @@ def cmd_stats(args) -> int:
 
 def cmd_query(args) -> int:
     measure: Measure = measure_from_args(args)
+    extra = {"solver": args.solver} if args.solver else {}
     options = FLoSOptions(
         tau=args.tau,
         tie_epsilon=args.tie_epsilon,
         deadline_seconds=args.deadline,
         max_visited=args.max_visited,
         on_budget=args.on_budget,
+        **extra,
     )
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:
@@ -292,6 +309,10 @@ def cmd_query(args) -> int:
         f"visited {stats.visited_nodes} nodes "
         f"({stats.visited_ratio(graph.num_nodes):.3%}) "
         f"in {stats.wall_time_seconds * 1e3:.1f} ms"
+    )
+    print(
+        f"solver {stats.solver}: {stats.solver_iterations} sweeps, "
+        f"{stats.rows_swept} row updates"
     )
     if not result.exact:
         print(
@@ -317,11 +338,13 @@ def cmd_bench_serve(args) -> int:
     from repro.bench.workload import sample_queries
 
     measure = measure_from_args(args)
+    extra = {"solver": args.solver} if args.solver else {}
     options = FLoSOptions(
         tau=args.tau,
         tie_epsilon=args.tie_epsilon,
         deadline_seconds=args.deadline,
         on_budget=args.on_budget,
+        **extra,
     )
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:

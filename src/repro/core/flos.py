@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.iterative import jacobi_solve
+from repro.core.kernels import SOLVERS, DualBoundKernel
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
 from repro.errors import (
@@ -103,6 +104,18 @@ class FLoSOptions:
     on_budget: str = "raise"
     #: Inner-solver iteration cap.
     max_inner_iterations: int = 10_000
+    #: Bound-refresh kernel (see :mod:`repro.core.kernels`):
+    #: ``"fused"`` (default) block-solves both bound systems in one
+    #: ``(m, 2)`` sweep over a CSR-cached operator, ``"selective"``
+    #: additionally confines sweeps to rows the last expansion actually
+    #: moved (wins only when the active set stays small — see
+    #: ``docs/performance.md``), ``"gauss_seidel"`` uses within-sweep
+    #: values to cut sweep counts at a higher per-sweep cost, and
+    #: ``"jacobi"`` is the legacy matrix-free pair of solves.  All modes
+    #: converge to the same ``tau`` criterion and return interchangeable
+    #: bounds; for THT the stationary-solver modes all map to the fused
+    #: finite-horizon DP.
+    solver: str = "fused"
     #: Tie tolerance of the termination certificate.  With the default 0
     #: the returned set is strictly exact, but an *exact tie* between the
     #: k-th and (k+1)-th proximity values can only be resolved by
@@ -158,6 +171,10 @@ class FLoSOptions:
             )
         if self.max_inner_iterations < 1:
             raise ConfigurationError("max_inner_iterations must be >= 1")
+        if self.solver not in SOLVERS:
+            raise ConfigurationError(
+                f"solver must be one of {SOLVERS}, got {self.solver!r}"
+            )
         return self
 
     def batch_size(self, visited: int) -> int:
@@ -258,7 +275,15 @@ class PHPSpaceEngine(SoftBudgetMixin):
         self._lb = np.array([1.0])
         self._ub = np.array([1.0])
         self._dummy_value = 1.0
-        self.stats = SearchStats()
+        self._kernel = (
+            None
+            if self.options.solver == "jacobi"
+            else DualBoundKernel(self.view, decay, self.options.solver)
+        )
+        # Excluded-locals mask, extended as nodes are visited, so the
+        # termination check never rescans the whole visited set.
+        self._excluded = np.array([query in exclude])
+        self.stats = SearchStats(solver=self.options.solver)
         self.trace: list[IterationSnapshot] = []
 
     # ------------------------------------------------------------------
@@ -417,16 +442,26 @@ class PHPSpaceEngine(SoftBudgetMixin):
         return boundary[order]
 
     def _expand(self, locals_: np.ndarray) -> list[int]:
-        newly: list[int] = []
-        for local in locals_:
-            newly.extend(self.view.expand(int(local)))
-            self.stats.expansions += 1
+        newly = self.view.expand_batch(locals_)
+        self.stats.expansions += len(locals_)
         grow = self.view.size - len(self._lb)
         if grow > 0:
             # Algorithm 4 line 3 / Algorithm 5 line 5: fresh nodes start
             # at the trivial PHP bounds [0, 1].
             self._lb = np.concatenate([self._lb, np.zeros(grow)])
             self._ub = np.concatenate([self._ub, np.ones(grow)])
+            self._excluded = np.concatenate(
+                [
+                    self._excluded,
+                    np.fromiter(
+                        (gid in self.exclude for gid in newly),
+                        dtype=bool,
+                        count=grow,
+                    )
+                    if self.exclude
+                    else np.zeros(grow, dtype=bool),
+                ]
+            )
         return newly
 
     # ------------------------------------------------------------------
@@ -451,24 +486,38 @@ class PHPSpaceEngine(SoftBudgetMixin):
             diag = None
             dummy_probs = self.view.dummy_mass()
 
-        a = self.view.transition_operator(self.decay, diag)
-
-        self._lb, it_lb = jacobi_solve(
-            a,
-            e_lower,
-            self._lb,
-            tau=opts.tau,
-            max_iterations=opts.max_inner_iterations,
-        )
         e_upper = e_lower + self.decay * dummy_probs * self._dummy_value
-        self._ub, it_ub = jacobi_solve(
-            a,
-            e_upper,
-            self._ub,
-            tau=opts.tau,
-            max_iterations=opts.max_inner_iterations,
-        )
-        self.stats.solver_iterations += it_lb + it_ub
+
+        if self._kernel is None:
+            a = self.view.transition_operator(self.decay, diag)
+            self._lb, it_lb = jacobi_solve(
+                a,
+                e_lower,
+                self._lb,
+                tau=opts.tau,
+                max_iterations=opts.max_inner_iterations,
+            )
+            self._ub, it_ub = jacobi_solve(
+                a,
+                e_upper,
+                self._ub,
+                tau=opts.tau,
+                max_iterations=opts.max_inner_iterations,
+            )
+            self.stats.solver_iterations += it_lb + it_ub
+            self.stats.rows_swept += m * (it_lb + it_ub)
+        else:
+            self._lb, self._ub, sweeps = self._kernel.refresh(
+                self._lb,
+                self._ub,
+                diag,
+                e_lower,
+                e_upper,
+                tau=opts.tau,
+                max_iterations=opts.max_inner_iterations,
+            )
+            self.stats.solver_iterations += sweeps
+            self.stats.rows_swept = self._kernel.rows_swept
         # The bounds sandwich the same fixed point; keep them consistent
         # against solver-tolerance noise.
         np.minimum(self._lb, self._ub, out=self._lb)
@@ -483,10 +532,7 @@ class PHPSpaceEngine(SoftBudgetMixin):
         mask = base.copy()
         mask[0] = False  # the query itself
         if self.exclude:
-            gids = self.view.global_ids()
-            for local, gid in enumerate(gids):
-                if int(gid) in self.exclude:
-                    mask[local] = False
+            mask &= ~self._excluded
         return mask
 
     def _ranking_bounds(self) -> tuple[np.ndarray, np.ndarray]:

@@ -50,6 +50,7 @@ import numpy as np
 
 from repro.core.flos import EngineOutcome, FLoSOptions, SoftBudgetMixin
 from repro.core.iterative import finite_horizon_solve
+from repro.core.kernels import THTDPKernel
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
 from repro.errors import BudgetExceededError, SearchError
@@ -85,7 +86,14 @@ class THTEngine(SoftBudgetMixin):
         self.view = LocalView(graph, query, track_tightening=False)
         self._lb = np.array([0.0])  # hitting time of q is 0 by definition
         self._ub = np.array([0.0])
-        self.stats = SearchStats()
+        # The finite-horizon DP has no fixed point to converge to, so the
+        # stationary solver modes collapse to two choices here: the
+        # legacy per-step matvec pair, or the fused cached-CSR DP.
+        self._kernel = (
+            None if self.options.solver == "jacobi" else THTDPKernel(self.view)
+        )
+        self._excluded = np.array([query in exclude])
+        self.stats = SearchStats(solver=self.options.solver)
         self.trace: list[IterationSnapshot] = []
 
     # ------------------------------------------------------------------
@@ -152,10 +160,8 @@ class THTEngine(SoftBudgetMixin):
         return boundary[order]
 
     def _expand(self, locals_: np.ndarray) -> list[int]:
-        newly: list[int] = []
-        for local in locals_:
-            newly.extend(self.view.expand(int(local)))
-            self.stats.expansions += 1
+        newly = self.view.expand_batch(locals_)
+        self.stats.expansions += len(locals_)
         grow = self.view.size - len(self._lb)
         if grow > 0:
             # Trivial THT bounds for fresh nodes: [0, L].
@@ -163,33 +169,51 @@ class THTEngine(SoftBudgetMixin):
             self._ub = np.concatenate(
                 [self._ub, np.full(grow, float(self.horizon))]
             )
+            self._excluded = np.concatenate(
+                [
+                    self._excluded,
+                    np.fromiter(
+                        (gid in self.exclude for gid in newly),
+                        dtype=bool,
+                        count=grow,
+                    )
+                    if self.exclude
+                    else np.zeros(grow, dtype=bool),
+                ]
+            )
         return newly
 
     def _update_bounds(self) -> None:
-        t_s = self.view.transition_operator()
         m = self.view.size
         mass = self.view.dummy_mass()
         boundary = np.flatnonzero(self.view.boundary_mask())
         e = np.ones(m)
         e[0] = 0.0  # the query's hitting time is identically zero
 
-        # Lower bound: L DP steps with the step-indexed dummy sequence
-        # D^t (module docstring) multiplying the boundary-crossing mass.
-        lb = np.zeros(m)
-        dummy = 0.0
-        for _ in range(self.horizon):
-            step_min = (
-                float(lb[boundary].min()) if len(boundary) else np.inf
-            )
-            nxt = (t_s @ lb) + e + mass * dummy
-            nxt[0] = 0.0
-            dummy = 1.0 + min(dummy, step_min)
-            lb = nxt
-        self._lb = lb
+        if self._kernel is not None:
+            lb, ub = self._kernel.run(e, mass, boundary, self.horizon)
+            self.stats.rows_swept = self._kernel.rows_swept
+        else:
+            t_s = self.view.transition_operator()
+            # Lower bound: L DP steps with the step-indexed dummy
+            # sequence D^t (module docstring) multiplying the
+            # boundary-crossing mass.
+            lb = np.zeros(m)
+            dummy = 0.0
+            for _ in range(self.horizon):
+                step_min = (
+                    float(lb[boundary].min()) if len(boundary) else np.inf
+                )
+                nxt = (t_s @ lb) + e + mass * dummy
+                nxt[0] = 0.0
+                dummy = 1.0 + min(dummy, step_min)
+                lb = nxt
 
-        e_upper = e + mass * float(self.horizon)
-        e_upper[0] = 0.0
-        ub = finite_horizon_solve(t_s, e_upper, self.horizon)
+            e_upper = e + mass * float(self.horizon)
+            e_upper[0] = 0.0
+            ub = finite_horizon_solve(t_s, e_upper, self.horizon)
+            self.stats.rows_swept += 2 * self.horizon * m
+        self._lb = lb
         np.minimum(ub, float(self.horizon), out=ub)
         self._ub = ub
         np.maximum(self._lb, 0.0, out=self._lb)
@@ -200,9 +224,7 @@ class THTEngine(SoftBudgetMixin):
         mask = base.copy()
         mask[0] = False
         if self.exclude:
-            for local, gid in enumerate(self.view.global_ids()):
-                if int(gid) in self.exclude:
-                    mask[local] = False
+            mask &= ~self._excluded
         return mask
 
     def _check_termination(self) -> tuple[bool, np.ndarray]:

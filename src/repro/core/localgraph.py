@@ -22,7 +22,22 @@ search-free identity used throughout: for an undirected edge,
 ``p_{v,u} = w_uv / w_v = p_{u,v} · w_u / w_v``.
 
 Everything lives in growing numpy buffers so per-iteration matrix assembly
-is vectorised.
+is vectorised.  Restoration itself comes in two implementations:
+
+* the **vectorized** path (default) visits a whole batch of nodes at once —
+  membership resolution is one lookup-table gather, incoming-edge
+  restoration, dummy-mass retraction and star-to-mesh retraction are
+  bincount scatter ops, and the batch's own dummy/boundary/tightening
+  state is computed by segment sums over the concatenated adjacency;
+* the **scalar** path (``vectorized=False``) is the original one-node-at-
+  a-time loop, kept as the executable reference: the property tests assert
+  both paths produce the same state, and the benchmarks use it to measure
+  the restoration speedup against the pre-kernel baseline.
+
+Both paths end in identical state (up to float summation order): visiting
+``{u₁, u₂}`` sequentially first charges ``u₁``'s dummy with the mass to
+the then-unvisited ``u₂`` and retracts it when ``u₂`` is visited, while
+the batched path never charges it at all.
 """
 
 from __future__ import annotations
@@ -31,6 +46,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.base import GraphAccess
+from repro.graph.memory import CSRGraph
+from repro.nputil import concatenated_ranges, segment_sums
 
 _INITIAL_CAPACITY = 64
 
@@ -75,24 +92,45 @@ class _GrowingBuffer:
 class LocalView:
     """Incrementally maintained visited subgraph around a query node."""
 
+    #: Default restoration implementation for new views.  The benchmarks
+    #: flip this to measure the scalar baseline; everything else leaves it.
+    DEFAULT_VECTORIZED = True
+
     def __init__(
         self,
         graph: GraphAccess,
         query: int,
         *,
         track_tightening: bool = True,
+        vectorized: bool | None = None,
     ):
         graph.validate_node(query)
         self.graph = graph
         self.query = query
         self.track_tightening = track_tightening
+        self._vectorized = (
+            LocalView.DEFAULT_VECTORIZED if vectorized is None else bool(vectorized)
+        )
 
         self._local_of: dict[int, int] = {}
         self._global_of: list[int] = []
+        # Cached global-id array (satellite of the kernel PR): grown in
+        # step with the view so ``global_ids()`` never rebuilds it.
+        self._gids = _GrowingBuffer(np.int64)
+        # Vectorized membership: local id per global id, -1 = unvisited.
+        # int32 halves the memset cost; node counts beyond 2**31 are far
+        # outside this reproduction's reach.
+        self._lut: np.ndarray | None = None
+        if self._vectorized:
+            self._lut = np.full(graph.num_nodes, -1, dtype=np.int32)
 
-        # Cached full adjacency of each visited node (global ids / probs).
-        self._adj_ids: list[np.ndarray] = []
-        self._adj_probs: list[np.ndarray] = []
+        # Cached full adjacency of each visited node, stored concatenated
+        # (global ids / probs) with per-node offsets so batch expansion
+        # can gather many nodes' neighborhoods in one multi-slice.
+        self._adj_ids = _GrowingBuffer(np.int64)
+        self._adj_probs = _GrowingBuffer(np.float64)
+        self._adj_offsets = _GrowingBuffer(np.int64)
+        self._adj_offsets.append_scalar(0)
         self._degrees = _GrowingBuffer(np.float64)
 
         # Directed transition edges within S, in local ids.  Row ``query``
@@ -116,7 +154,10 @@ class LocalView:
         self._outside_degree: dict[int, float] = {}
 
         self.neighbor_queries = 0
-        self._visit(query)
+        if self._vectorized:
+            self._visit_batch(np.array([query], dtype=np.int64))
+        else:
+            self._visit(query)
 
     # ------------------------------------------------------------------
     # Queries
@@ -128,13 +169,18 @@ class LocalView:
         return len(self._global_of)
 
     def is_visited(self, node: int) -> bool:
+        if self._lut is not None:
+            return self._lut[node] >= 0
         return node in self._local_of
 
     def local_id(self, node: int) -> int:
         return self._local_of[node]
 
     def global_ids(self) -> np.ndarray:
-        return np.array(self._global_of, dtype=np.int64)
+        """Global id per local id (read-only view, cached incrementally)."""
+        out = self._gids.view()
+        out.flags.writeable = False
+        return out
 
     def local_degree(self, local: int) -> float:
         """Weighted degree (in the *full* graph) of a visited node."""
@@ -157,7 +203,13 @@ class LocalView:
 
     def adjacency(self, local: int) -> tuple[np.ndarray, np.ndarray]:
         """Cached ``(neighbor_global_ids, transition_probs)`` of a visited node."""
-        return self._adj_ids[local], self._adj_probs[local]
+        offsets = self._adj_offsets.view()
+        lo, hi = offsets[local], offsets[local + 1]
+        return self._adj_ids.view()[lo:hi], self._adj_probs.view()[lo:hi]
+
+    def triplets(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO ``(rows, cols, probs)`` of the restored transitions in S."""
+        return self._rows.view(), self._cols.view(), self._probs.view()
 
     # ------------------------------------------------------------------
     # Expansion
@@ -168,11 +220,40 @@ class LocalView:
 
         Returns the newly visited nodes (global ids).
         """
-        ids, _ = self.adjacency(local)
-        new_nodes = [int(v) for v in ids if v not in self._local_of]
-        for v in new_nodes:
-            self._visit(v)
-        return new_nodes
+        return self.expand_batch(np.array([local], dtype=np.int64))
+
+    def expand_batch(self, locals_: np.ndarray) -> list[int]:
+        """Visit every unvisited neighbor of a batch of visited nodes.
+
+        Membership of the whole batch's concatenated neighborhoods is
+        resolved in one vectorized pass; new nodes are assigned local ids
+        in exactly the order the scalar loop would have (owners in the
+        given order, each owner's neighbors in adjacency order, first
+        occurrence wins), so results are identical either way.
+        """
+        locals_ = np.asarray(locals_, dtype=np.int64)
+        if not self._vectorized:
+            newly: list[int] = []
+            for local in locals_:
+                ids, _ = self.adjacency(int(local))
+                for v in ids:
+                    v = int(v)
+                    if v not in self._local_of:
+                        self._visit(v)
+                        newly.append(v)
+            return newly
+
+        offsets = self._adj_offsets.view()
+        counts = offsets[locals_ + 1] - offsets[locals_]
+        take = concatenated_ranges(offsets[locals_], counts)
+        candidates = self._adj_ids.view()[take]
+        candidates = candidates[self._lut[candidates] < 0]
+        if len(candidates) == 0:
+            return []
+        uniq, first_pos = np.unique(candidates, return_index=True)
+        new_nodes = uniq[np.argsort(first_pos, kind="stable")]
+        self._visit_batch(new_nodes)
+        return [int(v) for v in new_nodes]
 
     # ------------------------------------------------------------------
     # Matrix assembly
@@ -228,16 +309,158 @@ class LocalView:
         return locals_out, loops, tight
 
     # ------------------------------------------------------------------
+    # Vectorized restoration (the kernel path)
+    # ------------------------------------------------------------------
+
+    def _visit_batch(self, nodes: np.ndarray) -> None:
+        """Visit a batch of unvisited nodes in one vectorized pass.
+
+        Equivalent to calling the scalar ``_visit`` on each node in order;
+        see the module docstring for the equivalence argument.
+        """
+        base = self.size
+        n_new = len(nodes)
+        lut = self._lut
+        lut[nodes] = base + np.arange(n_new, dtype=np.int32)
+        local_of = self._local_of
+        global_of = self._global_of
+        for node in nodes:
+            node = int(node)
+            local_of[node] = len(global_of)
+            global_of.append(node)
+            self._outside_degree.pop(node, None)
+        self._gids.append(nodes)
+
+        ids, probs, counts = self._fetch_adjacency(nodes)
+        self.neighbor_queries += n_new
+        self._adj_ids.append(ids)
+        self._adj_probs.append(probs)
+        offset0 = self._adj_offsets.view()[-1]
+        self._adj_offsets.append(offset0 + np.cumsum(counts))
+        w_new = self.graph.degrees_of(nodes)
+        self._degrees.append(w_new)
+
+        owner_rel = np.repeat(np.arange(n_new, dtype=np.int64), counts)
+        owner_local = base + owner_rel
+        w_owner = np.repeat(w_new, counts)
+        # The query is always local id 0, so "owner is the query" can only
+        # happen in the initial batch.
+        owner_is_q = (
+            owner_local == 0 if base == 0 else np.zeros(len(ids), dtype=bool)
+        )
+
+        visited = lut[ids].astype(np.int64)
+        old_mask = (visited >= 0) & (visited < base)
+        batch_mask = visited >= base
+        outside = visited < 0
+
+        # Outgoing transitions into already-visited nodes and between batch
+        # members (each ordered pair of batch members appears exactly once,
+        # owned by its source); the query row of T stays zero.
+        keep = (old_mask | batch_mask) & ~owner_is_q
+        if keep.any():
+            self._rows.append(owner_local[keep])
+            self._cols.append(visited[keep])
+            self._probs.append(probs[keep])
+
+        # Incoming transitions from already-visited neighbors — the
+        # "restoration" step of Sec. 5.2.  No adjacency search is needed:
+        # by symmetry of edge weights, p_{v,u} = p_{u,v} · w_u / w_v.
+        if old_mask.any():
+            v_local = visited[old_mask]
+            o_local = owner_local[old_mask]
+            p_uv = probs[old_mask]
+            w_v = self._degrees.raw[v_local]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_vu = np.where(w_v > 0, p_uv * w_owner[old_mask] / w_v, 0.0)
+            not_into_q = v_local != 0
+            if not_into_q.any():
+                self._rows.append(v_local[not_into_q])
+                self._cols.append(o_local[not_into_q])
+                self._probs.append(p_vu[not_into_q])
+
+            dummy = self._dummy_mass.raw
+            dummy[:base] -= segment_sums(p_vu, v_local, base)
+            np.maximum(dummy[:base], 0.0, out=dummy[:base])
+            self._unvisited_count.raw[:base] -= np.bincount(
+                v_local, minlength=base
+            )[:base]
+            if self.track_tightening:
+                # The batch left v's unvisited neighborhood: retract its
+                # contribution to v's star-to-mesh sums.
+                self._loop_sum.raw[:base] -= segment_sums(
+                    p_vu * p_uv, v_local, base
+                )
+                self._tight_sum.raw[:base] -= segment_sums(
+                    p_vu * (1.0 - p_uv), v_local, base
+                )
+
+        # The new nodes' own dummy mass, unvisited counts, and sums —
+        # computed directly over their still-unvisited neighbors.
+        out_owner = owner_rel[outside]
+        out_probs = probs[outside]
+        dummy_new = segment_sums(out_probs, out_owner, n_new)
+        count_new = np.bincount(out_owner, minlength=n_new)[:n_new]
+        if base == 0:
+            dummy_new[0] = 0.0  # query row of T is zero: no dummy column
+        self._dummy_mass.append(dummy_new)
+        self._unvisited_count.append(count_new)
+
+        if self.track_tightening and len(out_probs):
+            w_j = self._degrees_of_outside(ids[outside])
+            w_u = w_owner[outside]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_ju = np.where(w_j > 0, out_probs * (w_u / w_j), 0.0)
+            loop_new = segment_sums(out_probs * p_ju, out_owner, n_new)
+            tight_new = segment_sums(out_probs * (1.0 - p_ju), out_owner, n_new)
+            if base == 0:
+                loop_new[0] = tight_new[0] = 0.0
+        else:
+            loop_new = np.zeros(n_new)
+            tight_new = np.zeros(n_new)
+        self._loop_sum.append(loop_new)
+        self._tight_sum.append(tight_new)
+
+    def _fetch_adjacency(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(ids, probs, counts)`` of a batch's neighborhoods."""
+        if isinstance(self.graph, CSRGraph):
+            return self.graph.transition_probabilities_many(nodes)
+        parts_ids, parts_probs = [], []
+        counts = np.empty(len(nodes), dtype=np.int64)
+        for i, node in enumerate(nodes):
+            ids, probs = self.graph.transition_probabilities(int(node))
+            parts_ids.append(ids)
+            parts_probs.append(probs)
+            counts[i] = len(ids)
+        return (
+            np.concatenate(parts_ids) if parts_ids else np.empty(0, np.int64),
+            np.concatenate(parts_probs)
+            if parts_probs
+            else np.empty(0, np.float64),
+            counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar restoration (reference path, kept for cross-checking)
+    # ------------------------------------------------------------------
 
     def _visit(self, node: int) -> None:
         local = len(self._global_of)
         self._local_of[node] = local
         self._global_of.append(node)
+        self._gids.append_scalar(node)
+        if self._lut is not None:
+            self._lut[node] = local
 
         ids, probs = self.graph.transition_probabilities(node)
         self.neighbor_queries += 1
         self._adj_ids.append(ids)
         self._adj_probs.append(probs)
+        self._adj_offsets.append_scalar(
+            self._adj_offsets.view()[-1] + len(ids)
+        )
         w_u = self.graph.degree(node)
         self._degrees.append_scalar(w_u)
         self._outside_degree.pop(node, None)
@@ -258,9 +481,7 @@ class LocalView:
             self._cols.append(visited_locals[inside])
             self._probs.append(probs[inside])
 
-        # Incoming transitions from already-visited neighbors — the
-        # "restoration" step of Sec. 5.2.  No adjacency search is needed:
-        # by symmetry of edge weights, p_{v,u} = p_{u,v} · w_u / w_v.
+        # Incoming transitions from already-visited neighbors.
         degrees = self._degrees.raw
         dummy = self._dummy_mass.raw
         counts = self._unvisited_count.raw
@@ -313,8 +534,6 @@ class LocalView:
         For in-memory graphs this is one vectorised array lookup; for disk
         graphs it caches so each outside node's degree record is read once.
         """
-        from repro.graph.memory import CSRGraph
-
         if isinstance(self.graph, CSRGraph):
             return self.graph.degrees_of(gids)
         cache = self._outside_degree

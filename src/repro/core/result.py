@@ -34,6 +34,15 @@ class SearchStats:
     how far the best rival's bound still overlaps the k-th returned
     node's bound.  It is 0 for exact results and shrinks toward 0 as an
     anytime search is given more budget.
+
+    ``solver`` names the bound-refresh kernel that ran (one of
+    :data:`repro.core.kernels.SOLVERS`); ``solver_iterations`` counts
+    per-column sweeps (two warm-started systems per refresh, so a single
+    refresh contributes at least 2) and ``rows_swept`` counts actual row
+    updates — a full sweep over ``m`` visited nodes adds ``m`` per
+    column, while selective refresh adds only the active rows, so
+    ``rows_swept / (solver_iterations · visited_nodes)`` below 1 is the
+    fraction of work the active-set pruning skipped.
     """
 
     visited_nodes: int = 0
@@ -43,6 +52,8 @@ class SearchStats:
     wall_time_seconds: float = 0.0
     termination: str = "exact"
     bound_gap: float = 0.0
+    solver: str = "jacobi"
+    rows_swept: int = 0
 
     def visited_ratio(self, num_nodes: int) -> float:
         return self.visited_nodes / num_nodes if num_nodes else 0.0
@@ -57,6 +68,8 @@ class SearchStats:
             "wall_time_seconds": float(self.wall_time_seconds),
             "termination": str(self.termination),
             "bound_gap": float(self.bound_gap),
+            "solver": str(self.solver),
+            "rows_swept": int(self.rows_swept),
         }
 
 

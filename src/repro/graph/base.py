@@ -93,6 +93,32 @@ class GraphAccess(abc.ABC):
         """Weighted degrees of several nodes (vectorised where possible)."""
         return np.array([self.degree(int(u)) for u in nodes], dtype=np.float64)
 
+    def transition_probabilities_many(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Transition distributions of several nodes, concatenated.
+
+        Returns ``(ids, probs, counts)`` where ``counts[i]`` is the
+        out-degree of ``nodes[i]`` and the neighborhoods are laid out
+        back to back in ``ids``/``probs``.  The generic implementation
+        loops; in-memory substrates override with one gather.
+        """
+        parts_ids: list[np.ndarray] = []
+        parts_probs: list[np.ndarray] = []
+        counts = np.empty(len(nodes), dtype=np.int64)
+        for i, u in enumerate(nodes):
+            ids, probs = self.transition_probabilities(int(u))
+            parts_ids.append(ids)
+            parts_probs.append(probs)
+            counts[i] = len(ids)
+        if not parts_ids:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                counts,
+            )
+        return np.concatenate(parts_ids), np.concatenate(parts_probs), counts
+
     def iter_nodes(self) -> Iterator[int]:
         """Iterate over all node ids."""
         return iter(range(self.num_nodes))

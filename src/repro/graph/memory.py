@@ -17,6 +17,7 @@ import scipy.sparse as sp
 
 from repro.errors import GraphError
 from repro.graph.base import GraphAccess
+from repro.nputil import concatenated_ranges
 
 
 class CSRGraph(GraphAccess):
@@ -137,6 +138,28 @@ class CSRGraph(GraphAccess):
 
     def degrees_of(self, nodes: np.ndarray) -> np.ndarray:
         return self._degrees[np.asarray(nodes, dtype=np.int64)]
+
+    def transition_probabilities_many(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`transition_probabilities` — one CSR gather.
+
+        All requested rows are pulled out of the flat adjacency arrays
+        with a single multi-slice index, and each row is normalised by
+        its node's weighted degree (rows of isolated nodes come out
+        all-zero, matching the scalar method).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self._indptr[nodes]
+        counts = self._indptr[nodes + 1] - starts
+        take = concatenated_ranges(starts, counts)
+        ids = self._indices[take]
+        degrees = self._degrees[nodes]
+        inv = np.zeros(len(nodes), dtype=np.float64)
+        nz = degrees > 0
+        inv[nz] = 1.0 / degrees[nz]
+        probs = self._weights[take] * np.repeat(inv, counts)
+        return ids, probs, counts
 
     @property
     def max_degree(self) -> float:

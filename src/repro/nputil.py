@@ -1,0 +1,39 @@
+"""Small shared numpy helpers used by the hot-path kernels.
+
+Kept dependency-free (numpy only) so both the graph substrates and the
+core kernels can use them without layering cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def concatenated_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of ``concat(arange(s, s + c) for s, c in zip(starts, counts))``.
+
+    This is the vectorised "multi-slice" gather used everywhere a batch of
+    CSR rows must be pulled out in one shot: ``data[concatenated_ranges(
+    indptr[rows], indptr[rows + 1] - indptr[rows])]`` concatenates the row
+    slices without a Python loop.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    # Offset of each range's first element inside the output, repeated over
+    # the range, plus a running arange — the standard segment trick.
+    first = np.repeat(
+        starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    return first + np.arange(total, dtype=np.int64)
+
+
+def segment_sums(
+    values: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum ``values`` grouped by segment id (a thin bincount wrapper)."""
+    return np.bincount(
+        segments, weights=values, minlength=num_segments
+    )[:num_segments]

@@ -150,12 +150,12 @@ class TestDeadline:
             RWR(0.9),
             QUERY,
             K,
-            options=FLoSOptions(deadline_seconds=0.005, on_budget="degrade"),
+            options=FLoSOptions(deadline_seconds=0.001, on_budget="degrade"),
         )
         elapsed = time.perf_counter() - started
         assert result.exact is False
-        # Overshoot is one expansion + one bound refresh, far below the
-        # seconds an unbudgeted run takes.  Generous CI margin.
+        # Overshoot is one expansion + one bound refresh.  Generous CI
+        # margin against a deadline the full search cannot beat.
         assert elapsed < 2.0
 
     def test_deadline_raise_policy(self, hard_graph):
