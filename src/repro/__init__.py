@@ -52,7 +52,7 @@ from repro.measures import (
     solve_direct,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "flos_top_k",

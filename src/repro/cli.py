@@ -8,6 +8,8 @@ Commands
 ``query``       run a top-k proximity query against a graph file
 ``bench serve`` replay a query workload through a QuerySession and
                 print the serving-metrics table
+``fuzz``        differential-fuzz the engines against the global
+                oracles (exit 1 on any invariant violation)
 ``datasets``    list or materialise the paper's dataset stand-ins
 
 Graph files are recognised by extension: ``.txt``/``.edges`` (SNAP edge
@@ -215,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(bench_func=cmd_bench_serve)
     bench.set_defaults(func=cmd_bench, bench_parser=bench)
 
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the engines against the global oracles",
+    )
+    fz.add_argument(
+        "--cases", type=int, default=200, help="random cases to run"
+    )
+    fz.add_argument(
+        "--seed", type=int, default=0, help="sweep seed (case i replays "
+        "identically for a given seed regardless of --cases)"
+    )
+    fz.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("fuzz-failures"),
+        help="directory for minimized failing-case repros "
+        "(created only on failure)",
+    )
+    fz.set_defaults(func=cmd_fuzz)
+
     ds = sub.add_parser("datasets", help="list or build dataset stand-ins")
     ds.add_argument(
         "name", nargs="?", help="dataset to materialise (omit to list)"
@@ -410,6 +432,38 @@ def cmd_bench_serve(args) -> int:
                 f"{entry['termination']}"
             )
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.audit.fuzz import run_fuzz
+
+    if args.cases < 1:
+        raise ReproError("--cases must be >= 1")
+
+    def heartbeat(done: int, total: int) -> None:
+        if done % 50 == 0 or done == total:
+            print(f"  {done}/{total} cases", flush=True)
+
+    print(
+        f"fuzzing {args.cases} cases (seed {args.seed}): "
+        "4 solvers + scalar view + anytime, vs direct solve + GI oracle"
+    )
+    summary = run_fuzz(
+        args.cases, args.seed, out_dir=args.out_dir, progress=heartbeat
+    )
+    print(
+        f"{summary.runs} engine runs, {summary.checks} differential checks "
+        f"in {summary.elapsed_seconds:.1f}s"
+    )
+    if summary.ok:
+        print("no invariant violations")
+        return 0
+    print(f"{len(summary.failures)} failing case(s):", file=sys.stderr)
+    for failure in summary.failures:
+        print(str(failure), file=sys.stderr)
+        if failure.repro_path:
+            print(f"  repro: {failure.repro_path}", file=sys.stderr)
+    return 1
 
 
 def cmd_datasets(args) -> int:

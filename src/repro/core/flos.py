@@ -45,6 +45,7 @@ from repro.core.iterative import jacobi_solve
 from repro.core.kernels import SOLVERS, DualBoundKernel
 from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
+from repro.nputil import top_k_indices
 from repro.errors import (
     BudgetExceededError,
     ConfigurationError,
@@ -128,6 +129,15 @@ class FLoSOptions:
     tie_epsilon: float = 0.0
     #: Record per-iteration bound snapshots (Figure 4).
     record_trace: bool = False
+    #: Runtime certification audit (see :mod:`repro.audit` and
+    #: ``docs/correctness.md``).  ``"off"`` (default) adds no work;
+    #: ``"record"`` checks every invariant (bound ordering, monotone
+    #: bound evolution, local-view state, termination-certificate
+    #: replay) after each refresh and attaches the full audit trail to
+    #: the result (``result.audit``); ``"check"`` additionally raises
+    #: :class:`~repro.errors.AuditError` on the first violation, at the
+    #: iteration that introduced it.
+    audit: str = "off"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -175,6 +185,11 @@ class FLoSOptions:
             raise ConfigurationError(
                 f"solver must be one of {SOLVERS}, got {self.solver!r}"
             )
+        if self.audit not in ("off", "record", "check"):
+            raise ConfigurationError(
+                f"audit must be 'off', 'record' or 'check', got "
+                f"{self.audit!r}"
+            )
         return self
 
     def batch_size(self, visited: int) -> int:
@@ -199,6 +214,9 @@ class EngineOutcome:
     exhausted_component: bool
     stats: SearchStats
     trace: list[IterationSnapshot] = field(default_factory=list)
+    #: Audit trail when ``FLoSOptions.audit != "off"`` (see
+    #: :mod:`repro.audit.invariants`).
+    audit: "object | None" = None
 
 
 class SoftBudgetMixin:
@@ -207,6 +225,13 @@ class SoftBudgetMixin:
     Engines call :meth:`_budget_reason` once per expansion round (after
     setting ``self._started`` at the top of ``run``) and either raise or
     degrade according to ``FLoSOptions.on_budget``.
+
+    Deadlines are measured on ``time.monotonic()`` — the contract for
+    every deadline check in this library.  A wall-clock source
+    (``time.time()``) can jump under NTP adjustment and fire a deadline
+    early or never, and mixing clock sources between the session layer
+    and the engines would make per-call deadline accounting
+    inconsistent.
     """
 
     options: FLoSOptions
@@ -222,7 +247,7 @@ class SoftBudgetMixin:
             return "iteration_budget"
         if (
             opts.deadline_seconds is not None
-            and time.perf_counter() - self._started >= opts.deadline_seconds
+            and time.monotonic() - self._started >= opts.deadline_seconds
         ):
             return "deadline"
         return None
@@ -232,7 +257,7 @@ class SoftBudgetMixin:
         if reason == "iteration_budget":
             raise IterationBudgetError(iteration - 1, opts.max_iterations)
         raise DeadlineExceededError(
-            time.perf_counter() - self._started, opts.deadline_seconds
+            time.monotonic() - self._started, opts.deadline_seconds
         )
 
 
@@ -285,6 +310,24 @@ class PHPSpaceEngine(SoftBudgetMixin):
         self._excluded = np.array([query in exclude])
         self.stats = SearchStats(solver=self.options.solver)
         self.trace: list[IterationSnapshot] = []
+        # Lazy import keeps audit="off" runs free of the audit package
+        # (and avoids a core <-> audit import cycle at module load).
+        self._auditor = None
+        if self.options.audit != "off":
+            from repro.audit.trace import AuditRecorder
+
+            # Each refresh stops on a tau update norm, leaving bounds
+            # within tau/(1-decay) of their fixed point (contraction);
+            # two consecutive refreshes can therefore disagree by twice
+            # that without any invariant being violated.
+            slack = 2.0 * self.options.tau / (1.0 - decay) + 1e-12
+            self._auditor = AuditRecorder(
+                mode=self.options.audit,
+                kind="php",
+                monotone_slack=slack,
+                order_slack=slack,
+                context=f"php engine (query={query}, k={k})",
+            )
 
     # ------------------------------------------------------------------
 
@@ -303,7 +346,7 @@ class PHPSpaceEngine(SoftBudgetMixin):
         is in the view before any degraded result is assembled.
         """
         opts = self.options
-        self._started = time.perf_counter()
+        self._started = time.monotonic()
         iteration = 0
         while True:
             iteration += 1
@@ -343,7 +386,7 @@ class PHPSpaceEngine(SoftBudgetMixin):
             if done:
                 self.stats.visited_nodes = self.view.size
                 self.stats.neighbor_queries = self.view.neighbor_queries
-                return EngineOutcome(
+                outcome = EngineOutcome(
                     view=self.view,
                     top_locals=top_locals,
                     lower=self._lb.copy(),
@@ -353,6 +396,8 @@ class PHPSpaceEngine(SoftBudgetMixin):
                     stats=self.stats,
                     trace=self.trace,
                 )
+                self._seal_audit(outcome)
+                return outcome
 
     # ------------------------------------------------------------------
     # Soft budgets (anytime search)
@@ -374,8 +419,10 @@ class PHPSpaceEngine(SoftBudgetMixin):
             self._eligible_mask(np.ones(self.view.size, dtype=bool))
         )
         mid = 0.5 * (lb_score + ub_score)
-        order = np.lexsort((eligible, -mid[eligible]))
-        top = eligible[order[: self.k]]
+        gids = self.view.global_ids()
+        top = eligible[
+            top_k_indices(mid[eligible], gids[eligible], self.k)
+        ]
 
         gap = 0.0
         if len(top):
@@ -406,7 +453,7 @@ class PHPSpaceEngine(SoftBudgetMixin):
         self.stats.bound_gap = gap
         if self.options.record_trace:
             self._record(iteration, np.empty(0, np.int64), [], True)
-        return EngineOutcome(
+        outcome = EngineOutcome(
             view=self.view,
             top_locals=top,
             lower=self._lb.copy(),
@@ -416,6 +463,8 @@ class PHPSpaceEngine(SoftBudgetMixin):
             stats=self.stats,
             trace=self.trace,
         )
+        self._seal_audit(outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # Algorithm 3 — LocalExpansion
@@ -518,6 +567,21 @@ class PHPSpaceEngine(SoftBudgetMixin):
             )
             self.stats.solver_iterations += sweeps
             self.stats.rows_swept = self._kernel.rows_swept
+        # Audit before the consistency clamp below — clamping would mask
+        # exactly the bound-order inversions the audit exists to catch.
+        if self._auditor is not None:
+            self._auditor.on_refresh(
+                self._lb, self._ub, self._dummy_value, self.view
+            )
+            if self._kernel is not None:
+                res_lb, res_ub = self._kernel.residual_norms(
+                    self._lb, self._ub, diag, e_lower, e_upper
+                )
+                self._auditor.on_solver_residuals(
+                    res_lb,
+                    res_ub,
+                    opts.tau * (1.0 + self.decay) + 1e-12,
+                )
         # The bounds sandwich the same fixed point; keep them consistent
         # against solver-tolerance noise.
         np.minimum(self._lb, self._ub, out=self._lb)
@@ -550,14 +614,14 @@ class PHPSpaceEngine(SoftBudgetMixin):
 
         lb_score, ub_score = self._ranking_bounds()
 
-        cand_scores = lb_score[candidates]
-        if self.k < len(candidates):
-            part = np.argpartition(-cand_scores, self.k - 1)[: self.k]
-            pool, pool_scores = candidates[part], cand_scores[part]
-        else:
-            pool, pool_scores = candidates, cand_scores
-        order = np.lexsort((pool, -pool_scores))
-        top = pool[order[: self.k]]
+        # Deterministic tie-breaking by *global* node id: local ids
+        # reflect visitation order, which differs across solvers and
+        # LocalView paths, so breaking score ties on them would let the
+        # returned set at an exact rank-k tie depend on the kernel.
+        gids = self.view.global_ids()
+        top = candidates[
+            top_k_indices(lb_score[candidates], gids[candidates], self.k)
+        ]
         min_top = float(lb_score[top].min()) + self.options.tie_epsilon
 
         # Rivals: every visited node that could still displace a member
@@ -599,13 +663,15 @@ class PHPSpaceEngine(SoftBudgetMixin):
         candidates = np.flatnonzero(
             self._eligible_mask(np.ones(self.view.size, dtype=bool))
         )
-        order = np.lexsort((candidates, -lb_score[candidates]))
-        top = candidates[order[: self.k]]
+        gids = self.view.global_ids()
+        top = candidates[
+            top_k_indices(lb_score[candidates], gids[candidates], self.k)
+        ]
         self.stats.visited_nodes = self.view.size
         self.stats.neighbor_queries = self.view.neighbor_queries
         if self.options.record_trace:
             self._record(iteration, np.empty(0, np.int64), [], True)
-        return EngineOutcome(
+        outcome = EngineOutcome(
             view=self.view,
             top_locals=top,
             lower=self._lb.copy(),
@@ -615,6 +681,51 @@ class PHPSpaceEngine(SoftBudgetMixin):
             stats=self.stats,
             trace=self.trace,
         )
+        self._seal_audit(outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Audit hooks (no-ops when ``FLoSOptions.audit == "off"``)
+    # ------------------------------------------------------------------
+
+    def _seal_audit(self, outcome: EngineOutcome) -> None:
+        """Replay the termination certificate and attach the audit trail."""
+        if self._auditor is None:
+            return
+        from repro.audit.invariants import CertificateRecord
+
+        lb_score, ub_score = self._ranking_bounds()
+        boundary = self.view.boundary_mask()
+        w_out = (
+            self._max_unvisited_degree()
+            if self.degree_weighted and boundary.any()
+            else None
+        )
+        self._auditor.on_certificate(
+            CertificateRecord(
+                kind="php",
+                k=self.k,
+                tie_epsilon=self.options.tie_epsilon,
+                exact=outcome.exact,
+                exhausted=outcome.exhausted_component,
+                termination=self.stats.termination,
+                bound_gap=self.stats.bound_gap,
+                top=np.asarray(outcome.top_locals, dtype=np.int64).copy(),
+                lb_score=np.asarray(lb_score, dtype=np.float64).copy(),
+                ub_score=np.asarray(ub_score, dtype=np.float64).copy(),
+                upper_raw=self._ub.copy(),
+                eligible=self._eligible_mask(
+                    np.ones(self.view.size, dtype=bool)
+                ),
+                settled=self.view.settled_mask().copy(),
+                boundary=boundary.copy(),
+                degree_weighted=self.degree_weighted,
+                w_out=w_out,
+            )
+        )
+        self.stats.audit_checks = self._auditor.checks
+        self.stats.audit_violations = len(self._auditor.violations)
+        outcome.audit = self._auditor.report()
 
     def _record(
         self,

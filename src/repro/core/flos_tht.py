@@ -55,6 +55,7 @@ from repro.core.localgraph import LocalView
 from repro.core.result import IterationSnapshot, SearchStats
 from repro.errors import BudgetExceededError, SearchError
 from repro.graph.base import GraphAccess
+from repro.nputil import top_k_indices
 
 
 class THTEngine(SoftBudgetMixin):
@@ -95,6 +96,23 @@ class THTEngine(SoftBudgetMixin):
         self._excluded = np.array([query in exclude])
         self.stats = SearchStats(solver=self.options.solver)
         self.trace: list[IterationSnapshot] = []
+        # Lazy import: audit="off" runs never load the audit package.
+        self._auditor = None
+        if self.options.audit != "off":
+            from repro.audit.trace import AuditRecorder
+
+            # The DP is exact (no tau truncation) — the only refresh-to-
+            # refresh noise is float summation order across CSR rebuilds,
+            # so the slack is a pure round-off allowance scaled to the
+            # measure's range [0, L].
+            slack = 1e-9 * max(1.0, float(horizon))
+            self._auditor = AuditRecorder(
+                mode=self.options.audit,
+                kind="tht",
+                monotone_slack=slack,
+                order_slack=slack,
+                context=f"tht engine (query={query}, k={k})",
+            )
 
     # ------------------------------------------------------------------
 
@@ -104,7 +122,7 @@ class THTEngine(SoftBudgetMixin):
         budgets at the top of the loop, visited budget after expansion
         followed by one bound refresh)."""
         opts = self.options
-        self._started = time.perf_counter()
+        self._started = time.monotonic()
         iteration = 0
         while True:
             iteration += 1
@@ -133,7 +151,7 @@ class THTEngine(SoftBudgetMixin):
             if done:
                 self.stats.visited_nodes = self.view.size
                 self.stats.neighbor_queries = self.view.neighbor_queries
-                return EngineOutcome(
+                outcome = EngineOutcome(
                     view=self.view,
                     top_locals=top_locals,
                     lower=self._lb.copy(),
@@ -143,6 +161,8 @@ class THTEngine(SoftBudgetMixin):
                     stats=self.stats,
                     trace=self.trace,
                 )
+                self._seal_audit(outcome)
+                return outcome
 
     # ------------------------------------------------------------------
 
@@ -213,10 +233,28 @@ class THTEngine(SoftBudgetMixin):
             e_upper[0] = 0.0
             ub = finite_horizon_solve(t_s, e_upper, self.horizon)
             self.stats.rows_swept += 2 * self.horizon * m
-        self._lb = lb
+        # Domain clamps first (the measure's range is [0, L] by
+        # definition), then the monotone envelope, then audit *before*
+        # the cross-clamp below — that clamp would mask exactly the
+        # lower>upper inversions the audit exists to catch.
         np.minimum(ub, float(self.horizon), out=ub)
+        np.maximum(lb, 0.0, out=lb)
+        # Monotone envelope: the previous refresh's bounds stay valid
+        # for the grown view (Theorem 5 certifies every visited set),
+        # so keep the tighter of old and new.  The raw upper DP alone
+        # is *not* monotone — it charges a full L on every boundary
+        # crossing, so pushing the boundary one hop out delays the
+        # same penalty by a step and can raise the raw value.
+        # ``self._lb``/``self._ub`` were already grown to the current
+        # size with trivial [0, L] entries in ``_expand``.
+        np.maximum(lb, self._lb, out=lb)
+        np.minimum(ub, self._ub, out=ub)
+        self._lb = lb
         self._ub = ub
-        np.maximum(self._lb, 0.0, out=self._lb)
+        if self._auditor is not None:
+            self._auditor.on_refresh(
+                self._lb, self._ub, float(self.horizon), self.view
+            )
         np.minimum(self._lb, self._ub, out=self._lb)
         self.stats.solver_iterations += 2 * self.horizon
 
@@ -232,14 +270,18 @@ class THTEngine(SoftBudgetMixin):
         candidates = np.flatnonzero(settled)
         if len(candidates) < self.k:
             return False, candidates
-        cand_scores = self._ub[candidates]
-        if self.k < len(candidates):
-            part = np.argpartition(cand_scores, self.k - 1)[: self.k]
-            pool, pool_scores = candidates[part], cand_scores[part]
-        else:
-            pool, pool_scores = candidates, cand_scores
-        order = np.lexsort((pool, pool_scores))
-        top = pool[order[: self.k]]
+        # Tie-break by global node id, not local id (visitation order),
+        # so tied ranks agree across solver kernels — see the PHP
+        # engine's _check_termination.
+        gids = self.view.global_ids()
+        top = candidates[
+            top_k_indices(
+                self._ub[candidates],
+                gids[candidates],
+                self.k,
+                descending=False,
+            )
+        ]
         max_top = float(self._ub[top].max()) - self.options.tie_epsilon
         others = self._eligible_mask(np.ones(self.view.size, dtype=bool))
         others[top] = False
@@ -257,8 +299,12 @@ class THTEngine(SoftBudgetMixin):
             self._eligible_mask(np.ones(self.view.size, dtype=bool))
         )
         mid = 0.5 * (self._lb + self._ub)
-        order = np.lexsort((eligible, mid[eligible]))
-        top = eligible[order[: self.k]]
+        gids = self.view.global_ids()
+        top = eligible[
+            top_k_indices(
+                mid[eligible], gids[eligible], self.k, descending=False
+            )
+        ]
 
         gap = 0.0
         if len(top):
@@ -283,7 +329,7 @@ class THTEngine(SoftBudgetMixin):
         self.stats.bound_gap = gap
         if self.options.record_trace:
             self._record(iteration, np.empty(0, np.int64), [], True)
-        return EngineOutcome(
+        outcome = EngineOutcome(
             view=self.view,
             top_locals=top,
             lower=self._lb.copy(),
@@ -293,19 +339,28 @@ class THTEngine(SoftBudgetMixin):
             stats=self.stats,
             trace=self.trace,
         )
+        self._seal_audit(outcome)
+        return outcome
 
     def _finalize_exhausted(self, iteration: int) -> EngineOutcome:
         self._update_bounds()
         candidates = np.flatnonzero(
             self._eligible_mask(np.ones(self.view.size, dtype=bool))
         )
-        order = np.lexsort((candidates, self._ub[candidates]))
-        top = candidates[order[: self.k]]
+        gids = self.view.global_ids()
+        top = candidates[
+            top_k_indices(
+                self._ub[candidates],
+                gids[candidates],
+                self.k,
+                descending=False,
+            )
+        ]
         self.stats.visited_nodes = self.view.size
         self.stats.neighbor_queries = self.view.neighbor_queries
         if self.options.record_trace:
             self._record(iteration, np.empty(0, np.int64), [], True)
-        return EngineOutcome(
+        outcome = EngineOutcome(
             view=self.view,
             top_locals=top,
             lower=self._lb.copy(),
@@ -315,6 +370,38 @@ class THTEngine(SoftBudgetMixin):
             stats=self.stats,
             trace=self.trace,
         )
+        self._seal_audit(outcome)
+        return outcome
+
+    def _seal_audit(self, outcome: EngineOutcome) -> None:
+        """Replay the termination certificate and attach the audit trail."""
+        if self._auditor is None:
+            return
+        from repro.audit.invariants import CertificateRecord
+
+        self._auditor.on_certificate(
+            CertificateRecord(
+                kind="tht",
+                k=self.k,
+                tie_epsilon=self.options.tie_epsilon,
+                exact=outcome.exact,
+                exhausted=outcome.exhausted_component,
+                termination=self.stats.termination,
+                bound_gap=self.stats.bound_gap,
+                top=np.asarray(outcome.top_locals, dtype=np.int64).copy(),
+                lb_score=self._lb.copy(),
+                ub_score=self._ub.copy(),
+                upper_raw=self._ub.copy(),
+                eligible=self._eligible_mask(
+                    np.ones(self.view.size, dtype=bool)
+                ),
+                settled=self.view.settled_mask().copy(),
+                boundary=self.view.boundary_mask().copy(),
+            )
+        )
+        self.stats.audit_checks = self._auditor.checks
+        self.stats.audit_violations = len(self._auditor.violations)
+        outcome.audit = self._auditor.report()
 
     def _record(
         self,

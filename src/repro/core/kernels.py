@@ -350,6 +350,34 @@ class DualBoundKernel:
         self._prev_diag = diag.copy()
         return R[:, 0].copy(), R[:, 1].copy(), sweeps
 
+    def residual_norms(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        diag: np.ndarray | None,
+        e_lower: np.ndarray,
+        e_upper: np.ndarray,
+    ) -> tuple[float, float]:
+        """Fixed-point residual inf-norms ``||x - (Ax + Dx + e)||`` of
+        both bound systems.
+
+        An independent convergence certificate for the audit layer: one
+        exact operator application, no sweep-loop state involved.  A
+        solver that stopped on a ``tau`` update norm leaves a residual
+        of at most ``decay * tau`` (contraction), so anything larger
+        means convergence was claimed but not reached — the failure
+        mode the selective solver's active-set bookkeeping could hit
+        silently.
+        """
+        m = self.view.size
+        self._op.sync()
+        if diag is None:
+            diag = np.zeros(m)
+        R = np.column_stack([lb, ub])
+        E = np.column_stack([e_lower, e_upper])
+        res = np.abs(R - (self._op.apply(R, m) + diag[:, None] * R + E))
+        return float(res[:, 0].max()), float(res[:, 1].max())
+
     # ------------------------------------------------------------------
     # Gauss–Seidel cache
     # ------------------------------------------------------------------

@@ -212,6 +212,98 @@ class LocalView:
         return self._rows.view(), self._cols.view(), self._probs.view()
 
     # ------------------------------------------------------------------
+    # State invariants (runtime audit layer)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, *, tol: float = 1e-8) -> list[str]:
+        """Verify the incrementally maintained state against its definition.
+
+        The restoration bookkeeping — dummy masses, unvisited counts,
+        star-to-mesh sums — is updated by increments and retractions on
+        both the scalar and vectorized paths; a drift in either silently
+        corrupts every bound built on top.  Checked here:
+
+        * transition-mass conservation: for every visited non-query node
+          with positive degree, restored in-S mass plus dummy mass is 1
+          (the query row of ``T`` is zeroed, so its total is 0);
+        * dummy masses lie in ``[0, 1]`` and unvisited counts are
+          non-negative;
+        * settled nodes (``unvisited_count == 0``) carry no dummy mass;
+        * restored probabilities are positive and finite;
+        * when tightening is tracked, the star-to-mesh sums are finite
+          and non-negative up to retraction round-off.
+
+        Returns human-readable violation strings (empty = consistent).
+        """
+        problems: list[str] = []
+        m = self.size
+        dummy = self._dummy_mass.view()
+        counts = self._unvisited_count.view()
+        degrees = self._degrees.view()
+        probs = self._probs.view()
+
+        if (counts < 0).any():
+            bad = int(np.flatnonzero(counts < 0)[0])
+            problems.append(
+                f"negative unvisited-neighbor count at local {bad} "
+                f"({int(counts[bad])})"
+            )
+        if (dummy < -tol).any() or (dummy > 1.0 + tol).any():
+            bad = int(np.flatnonzero((dummy < -tol) | (dummy > 1.0 + tol))[0])
+            problems.append(
+                f"dummy mass outside [0, 1] at local {bad} "
+                f"({float(dummy[bad]):.3e})"
+            )
+        settled = counts == 0
+        if (dummy[settled] > tol).any():
+            bad = int(np.flatnonzero(settled & (dummy > tol))[0])
+            problems.append(
+                f"settled node at local {bad} still carries dummy mass "
+                f"{float(dummy[bad]):.3e}"
+            )
+        if len(probs) and (
+            (probs <= 0).any() or not np.isfinite(probs).all()
+        ):
+            problems.append("restored transition probabilities must be "
+                            "positive and finite")
+
+        row_mass = np.bincount(
+            self._rows.view(), weights=probs, minlength=m
+        )[:m]
+        total = row_mass + dummy
+        expected = (degrees > 0).astype(np.float64)
+        expected[0] = 0.0  # the query row of T is zeroed (Table 1)
+        off = np.abs(total - expected)
+        off[0] = abs(total[0])  # row 0 must be exactly empty
+        if (off > 1e-6).any():
+            bad = int(np.argmax(off))
+            problems.append(
+                f"transition mass of local {bad} sums to "
+                f"{float(total[bad]):.9f} (expected {float(expected[bad]):g})"
+            )
+
+        if self.track_tightening:
+            # The query row is exempt: its sums are zeroed at creation
+            # (row 0 of T stays zero) yet still receive retractions when
+            # its neighbors are visited, and ``self_loop_terms`` never
+            # reads them — benign drift in unused state.
+            loops = self._loop_sum.view()
+            tight = self._tight_sum.view()
+            for name, arr in (("loop", loops), ("tight", tight)):
+                if not np.isfinite(arr).all():
+                    problems.append(f"non-finite star-to-mesh {name} sum")
+                    continue
+                bad_mask = arr < -1e-6
+                bad_mask[0] = False
+                if bad_mask.any():
+                    bad = int(np.flatnonzero(bad_mask)[0])
+                    problems.append(
+                        f"star-to-mesh {name} sum at local {bad} is "
+                        f"{float(arr[bad]):.3e} (retraction drift)"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------
 

@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.audit.invariants import AuditReport
 
 
 #: Valid values of :attr:`SearchStats.termination`.
@@ -43,6 +47,12 @@ class SearchStats:
     column, while selective refresh adds only the active rows, so
     ``rows_swept / (solver_iterations · visited_nodes)`` below 1 is the
     fraction of work the active-set pruning skipped.
+
+    ``audit_checks`` counts the invariant checks the runtime audit layer
+    ran for this query (0 when ``FLoSOptions.audit="off"``);
+    ``audit_violations`` counts recorded failures — always 0 under
+    ``audit="check"`` for a returned result, because the first violation
+    raises :class:`~repro.errors.AuditError` instead of returning.
     """
 
     visited_nodes: int = 0
@@ -54,6 +64,8 @@ class SearchStats:
     bound_gap: float = 0.0
     solver: str = "jacobi"
     rows_swept: int = 0
+    audit_checks: int = 0
+    audit_violations: int = 0
 
     def visited_ratio(self, num_nodes: int) -> float:
         return self.visited_nodes / num_nodes if num_nodes else 0.0
@@ -70,6 +82,8 @@ class SearchStats:
             "bound_gap": float(self.bound_gap),
             "solver": str(self.solver),
             "rows_swept": int(self.rows_swept),
+            "audit_checks": int(self.audit_checks),
+            "audit_violations": int(self.audit_violations),
         }
 
 
@@ -117,12 +131,41 @@ class TopKResult:
     exhausted_component: bool = False
     #: Per-iteration bound snapshots (only when tracing was requested).
     trace: list[IterationSnapshot] = field(default_factory=list)
+    #: Audit trail recorded by the invariant layer (``audit != "off"``):
+    #: per-iteration bound snapshots plus the final termination
+    #: certificate, replayable offline via :mod:`repro.audit.invariants`.
+    audit: "AuditReport | None" = None
 
     def __post_init__(self) -> None:
         self.nodes = np.asarray(self.nodes, dtype=np.int64)
         self.values = np.asarray(self.values, dtype=np.float64)
         self.lower = np.asarray(self.lower, dtype=np.float64)
         self.upper = np.asarray(self.upper, dtype=np.float64)
+
+    def copy(self) -> "TopKResult":
+        """Independent copy safe to hand to callers.
+
+        Every mutable field a caller could plausibly write to — the
+        result arrays and ``stats`` — is freshly allocated, so mutating
+        the copy can never corrupt another holder of the original (the
+        session result cache relies on this).  ``trace`` and ``audit``
+        are shared by reference: they are write-once diagnostics, and
+        trace-carrying results are never cached.
+        """
+        return TopKResult(
+            query=self.query,
+            k=self.k,
+            measure_name=self.measure_name,
+            nodes=self.nodes.copy(),
+            values=self.values.copy(),
+            lower=self.lower.copy(),
+            upper=self.upper.copy(),
+            exact=self.exact,
+            stats=replace(self.stats),
+            exhausted_component=self.exhausted_component,
+            trace=list(self.trace),
+            audit=self.audit,
+        )
 
     def as_dict(self) -> dict[int, float]:
         """``{node: value}`` mapping."""

@@ -85,6 +85,12 @@ class SessionMetrics:
     ``stats.termination`` reason (``"exact"``, ``"deadline"``,
     ``"visited_budget"``, ``"iteration_budget"``).  Both count engine
     runs only — cache hits replay a stored result and touch neither.
+
+    ``audit_checks`` / ``audit_violations`` accumulate the runtime
+    invariant audit counters (``FLoSOptions.audit != "off"``) over
+    engine runs; both stay 0 when auditing is off, and
+    ``audit_violations`` stays 0 under ``audit="check"`` because a
+    violating run raises instead of returning.
     """
 
     queries_served: int
@@ -99,6 +105,8 @@ class SessionMetrics:
     p95_wall_seconds: float
     degraded_results: int
     terminations: dict[str, int]
+    audit_checks: int = 0
+    audit_violations: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -128,6 +136,8 @@ class SessionMetrics:
                 reason: count
                 for reason, count in sorted(self.terminations.items())
             },
+            "audit_checks": self.audit_checks,
+            "audit_violations": self.audit_violations,
         }
 
 
@@ -238,6 +248,8 @@ class QuerySession:
         self._wall_samples: deque[float] = deque(maxlen=_WALL_TIME_WINDOW)
         self._degraded_results = 0
         self._terminations: dict[str, int] = {}
+        self._audit_checks = 0
+        self._audit_violations = 0
         # Slow-query log: min-heap of (wall_seconds, seq, entry) keeping
         # the worst ``slow_log_size`` engine runs; ``seq`` breaks ties so
         # dict entries are never compared.
@@ -261,8 +273,10 @@ class QuerySession:
         """Top-k for one query (Algorithm 2), cache-aware.
 
         Results for a repeated ``(query, k, exclude)`` are served from
-        the LRU cache; the returned object is shared, so treat results
-        as read-only (they are by convention already).
+        the LRU cache as independent copies
+        (:meth:`~repro.core.result.TopKResult.copy`) — mutating a
+        returned result (its arrays or ``stats``) can never corrupt
+        what later callers receive.
 
         ``deadline_seconds`` / ``on_budget`` override the session-level
         :class:`~repro.core.flos.FLoSOptions` for this call only — e.g.
@@ -273,7 +287,7 @@ class QuerySession:
         deadline for one call, pass ``deadline_seconds=float("inf")``.
         Anytime results are never cached.
         """
-        started = time.perf_counter()
+        started = time.monotonic()
         options = self._per_call_options(deadline_seconds, on_budget)
         options.validate(k)
         excluded = (
@@ -281,17 +295,28 @@ class QuerySession:
         )
         key = (int(query), int(k), excluded)
 
+        # Cache lookup, hit accounting, and the defensive copy happen
+        # under one lock acquisition: copying outside it would let a
+        # concurrent caller's mutation of the shared cached object race
+        # the copy, and split lookup/accounting would let the metrics
+        # drift from the cache state observed.
         with self._lock:
             cached = self._cache.get(key)
-        if cached is not None:
-            self._record_hit(time.perf_counter() - started)
-            return cached
+            if cached is not None:
+                elapsed = time.monotonic() - started
+                self._queries_served += 1
+                self._cache_hits += 1
+                self._total_wall_seconds += elapsed
+                self._wall_samples.append(elapsed)
+                return cached.copy()
 
         result = self._execute(int(query), int(k), excluded, options)
-        result.stats.wall_time_seconds = time.perf_counter() - started
+        result.stats.wall_time_seconds = time.monotonic() - started
         if result.exact:
             with self._lock:
-                self._cache.put(key, result)
+                # Store a private copy: the caller owns ``result`` and
+                # may mutate it after we return.
+                self._cache.put(key, result.copy())
         self._record_miss(result)
         return result
 
@@ -379,6 +404,8 @@ class QuerySession:
                 ),
                 degraded_results=self._degraded_results,
                 terminations=dict(self._terminations),
+                audit_checks=self._audit_checks,
+                audit_violations=self._audit_violations,
             )
 
     def slow_queries(self) -> list[dict]:
@@ -528,6 +555,7 @@ class QuerySession:
             stats=outcome.stats,
             exhausted_component=outcome.exhausted_component,
             trace=outcome.trace,
+            audit=outcome.audit,
         )
 
     def _tht_result(
@@ -550,6 +578,7 @@ class QuerySession:
             stats=outcome.stats,
             exhausted_component=outcome.exhausted_component,
             trace=outcome.trace,
+            audit=outcome.audit,
         )
 
     def _empty_result(self, query: int, k: int) -> TopKResult:
@@ -571,13 +600,6 @@ class QuerySession:
     # Metrics bookkeeping
     # ------------------------------------------------------------------
 
-    def _record_hit(self, elapsed: float) -> None:
-        with self._lock:
-            self._queries_served += 1
-            self._cache_hits += 1
-            self._total_wall_seconds += elapsed
-            self._wall_samples.append(elapsed)
-
     def _record_miss(self, result: TopKResult) -> None:
         stats: SearchStats = result.stats
         bucket = int(stats.visited_nodes).bit_length()
@@ -597,6 +619,8 @@ class QuerySession:
             self._terminations[stats.termination] = (
                 self._terminations.get(stats.termination, 0) + 1
             )
+            self._audit_checks += stats.audit_checks
+            self._audit_violations += stats.audit_violations
             if self._slow_log_size > 0:
                 entry = {
                     "query": int(result.query),

@@ -59,6 +59,32 @@ class ConvergenceError(SearchError):
         self.tol = tol
 
 
+class AuditError(SearchError):
+    """A runtime invariant audit detected a certification violation.
+
+    Raised under ``FLoSOptions(audit="check")`` the moment a recorded
+    invariant (bound sandwich ordering, monotone bound evolution, solver
+    residual, local-view state consistency, termination-certificate
+    replay) fails — the exactness claim of Theorems 1–6 no longer holds
+    for this run.  ``violations`` carries the structured
+    :class:`~repro.audit.invariants.InvariantViolation` records.
+    """
+
+    def __init__(self, violations, *, context: str = ""):
+        self.violations = list(violations)
+        head = "; ".join(str(v) for v in self.violations[:3])
+        more = (
+            f" (+{len(self.violations) - 3} more)"
+            if len(self.violations) > 3
+            else ""
+        )
+        prefix = f"{context}: " if context else ""
+        super().__init__(
+            f"{prefix}invariant audit failed with "
+            f"{len(self.violations)} violation(s): {head}{more}"
+        )
+
+
 class BudgetExceededError(SearchError):
     """A search exceeded its visited-node budget before it could terminate.
 

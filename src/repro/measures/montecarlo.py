@@ -20,6 +20,22 @@ Estimators
                       length-penalised by ``c`` per step; the estimator
                       averages ``c^len`` over walks that hit the query,
                       which is exactly PHP's path-sum definition.
+``monte_carlo_php_many``  one PHP estimate per start node, each driven
+                      by an *independent* child stream spawned from one
+                      seed, so estimates are uncorrelated yet the whole
+                      batch is reproducible.
+
+Randomness contract
+-------------------
+Every estimator accepts ``seed`` as an ``int``, ``None``, or an already
+constructed :class:`numpy.random.Generator`.  An ``int`` gives a
+reproducible run; ``None`` draws fresh OS entropy; a ``Generator`` is
+used *as passed* — its state advances, so two consecutive calls sharing
+one generator produce different (independent) sample sets.  Passing the
+same *integer* to two calls intentionally replays the identical walk
+sequence; callers that want several independent estimates from one seed
+should spawn child streams with :func:`spawn_rngs` (or pass a shared
+``Generator``), never reuse the integer.
 """
 
 from __future__ import annotations
@@ -31,20 +47,43 @@ from repro.graph.base import GraphAccess
 from repro.graph.memory import CSRGraph
 
 
+def spawn_rngs(
+    seed: int | np.random.Generator | None, n: int
+) -> list[np.random.Generator]:
+    """``n`` statistically independent generators from one seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, the supported way to
+    derive non-overlapping child streams — unlike ``default_rng(seed)``
+    repeated ``n`` times, which replays one identical stream.  When
+    ``seed`` is already a ``Generator``, children are spawned from its
+    internal bit generator (advancing it), keeping the whole family
+    reproducible from the original seed.
+    """
+    if n < 0:
+        raise MeasureError("cannot spawn a negative number of streams")
+    if isinstance(seed, np.random.Generator):
+        return [
+            np.random.default_rng(ss)
+            for ss in seed.bit_generator.seed_seq.spawn(n)
+        ]
+    return [np.random.default_rng(ss) for ss in np.random.SeedSequence(seed).spawn(n)]
+
+
 def monte_carlo_rwr(
     graph: CSRGraph,
     query: int,
     *,
     restart: float = 0.5,
     num_walks: int = 10_000,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> np.ndarray:
     """Estimate the full RWR vector by simulating restart walks.
 
     Each walk starts at ``query``; at every step it stops with
     probability ``restart`` (contributing its current position) or moves
     to a random neighbor.  The empirical distribution of stop positions
-    is an unbiased estimate of the RWR vector.
+    is an unbiased estimate of the RWR vector.  ``seed`` follows the
+    module-level randomness contract (int / ``Generator`` / ``None``).
     """
     if not 0.0 < restart < 1.0:
         raise MeasureError("restart must lie in (0, 1)")
@@ -81,7 +120,7 @@ def monte_carlo_php(
     decay: float = 0.5,
     num_walks: int = 10_000,
     max_steps: int = 200,
-    seed: int | None = None,
+    seed: int | np.random.Generator | None = None,
 ) -> tuple[float, float]:
     """Estimate ``PHP(start)`` w.r.t. ``query`` by absorbed walks.
 
@@ -90,7 +129,11 @@ def monte_carlo_php(
     samples walks from ``start`` and averages ``c^len`` for walks
     absorbed at the query (0 for walks truncated at ``max_steps``,
     which introduces a bias below ``c^max_steps`` — negligible for the
-    defaults).  Returns ``(estimate, standard_error)``.
+    defaults).  Returns ``(estimate, standard_error)``.  ``seed``
+    follows the module-level randomness contract (int / ``Generator`` /
+    ``None``); pass a shared ``Generator`` (or :func:`spawn_rngs`
+    children) when estimating several starts, so samples are
+    independent rather than replays of one walk sequence.
     """
     if not 0.0 < decay < 1.0:
         raise MeasureError("decay must lie in (0, 1)")
@@ -128,3 +171,39 @@ def monte_carlo_php(
     estimate = float(samples.mean())
     stderr = float(samples.std(ddof=1) / np.sqrt(num_walks)) if num_walks > 1 else 0.0
     return estimate, stderr
+
+
+def monte_carlo_php_many(
+    graph: CSRGraph,
+    query: int,
+    starts,
+    *,
+    decay: float = 0.5,
+    num_walks: int = 10_000,
+    max_steps: int = 200,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[float, float]]:
+    """One :func:`monte_carlo_php` estimate per start node.
+
+    Each start is driven by its own child stream from
+    :func:`spawn_rngs`, so the estimates are statistically independent
+    of each other while the whole batch replays exactly from one
+    integer ``seed``.  (Naively passing the same ``seed`` int to a loop
+    of :func:`monte_carlo_php` calls would feed every start the *same*
+    walk randomness — correlated errors that defeat cross-validation.)
+    Returns ``[(estimate, standard_error), ...]`` in ``starts`` order.
+    """
+    starts = [int(s) for s in starts]
+    rngs = spawn_rngs(seed, len(starts))
+    return [
+        monte_carlo_php(
+            graph,
+            query,
+            start,
+            decay=decay,
+            num_walks=num_walks,
+            max_steps=max_steps,
+            seed=rng,
+        )
+        for start, rng in zip(starts, rngs)
+    ]

@@ -37,3 +37,31 @@ def segment_sums(
     return np.bincount(
         segments, weights=values, minlength=num_segments
     )[:num_segments]
+
+
+def top_k_indices(
+    scores: np.ndarray,
+    tiebreak: np.ndarray,
+    k: int,
+    *,
+    descending: bool = True,
+) -> np.ndarray:
+    """Indices of the ``k`` best scores; ties go to the smaller tiebreak.
+
+    The result depends only on the multiset of ``(score, tiebreak)``
+    pairs — never on the input *order* — which is what makes the final
+    top-k ranking agree across solver kernels and LocalView paths: their
+    local-id orders differ, but the global node ids used as ``tiebreak``
+    do not.  Selection stays O(n): an argpartition bounds the k-th score,
+    and only entries at or beyond that score (the k best plus anything
+    tied with the k-th) are sorted.
+    """
+    n = len(scores)
+    if k >= n:
+        order = np.lexsort((tiebreak, -scores if descending else scores))
+        return order
+    keys = -scores if descending else scores
+    kth = np.partition(keys, k - 1)[k - 1]
+    pool = np.flatnonzero(keys <= kth)
+    order = np.lexsort((tiebreak[pool], keys[pool]))
+    return pool[order[:k]]

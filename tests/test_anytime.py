@@ -254,7 +254,13 @@ class TestSessionIntegration:
         session = QuerySession(graph, PHP(0.5))
         exact = session.top_k(QUERY, K)
         assert exact.exact and session.cache_size == 1
-        assert session.top_k(QUERY, K) is exact
+        replay = session.top_k(QUERY, K)
+        # Cache hits are served as defensive copies, never the cached
+        # object itself — equal in value, distinct in identity.
+        assert replay is not exact
+        assert np.array_equal(replay.nodes, exact.nodes)
+        assert np.allclose(replay.values, exact.values)
+        assert session.metrics().cache_hits == 1
 
     def test_session_level_degrade_policy(self, graph):
         session = QuerySession(

@@ -1,0 +1,442 @@
+"""The certification audit layer: checkers, recorder, engine wiring.
+
+Covers the invariant catalogue of :mod:`repro.audit.invariants` as pure
+units, the ``FLoSOptions.audit`` modes end to end through both engines,
+and — most importantly — that a *deliberately corrupted* engine is
+caught loudly instead of returning a plausible wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit.invariants import (
+    BoundSnapshot,
+    CertificateRecord,
+    check_bound_order,
+    check_certificate,
+    check_flags,
+    check_monotone_evolution,
+    check_sandwich,
+)
+from repro.core.flos import SOLVERS, FLoSOptions
+from repro.core.kernels import DualBoundKernel
+from repro.core.session import QuerySession
+from repro.errors import AuditError, ConfigurationError
+from repro.graph.generators import erdos_renyi
+from repro.measures import resolve_measure
+
+GRAPH = erdos_renyi(80, 240, seed=11)
+QUERY = 3
+K = 5
+
+MEASURES = [
+    ("php", {"c": 0.5}),
+    ("ei", {"c": 0.5}),
+    ("dht", {"c": 0.5}),
+    ("rwr", {"c": 0.5}),
+    ("tht", {"horizon": 5}),
+]
+
+
+def _session(measure, kwargs, **options):
+    return QuerySession(
+        GRAPH, measure=measure, **kwargs, options=FLoSOptions(**options)
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit tests of the checkers
+# ----------------------------------------------------------------------
+
+
+class TestBoundOrder:
+    def test_clean(self):
+        lower = np.array([0.1, 0.2])
+        upper = np.array([0.3, 0.2])
+        assert check_bound_order(lower, upper, slack=1e-9) == []
+
+    def test_inversion_detected(self):
+        lower = np.array([0.1, 0.5])
+        upper = np.array([0.3, 0.2])
+        out = check_bound_order(lower, upper, slack=1e-9, iteration=4)
+        assert len(out) == 1
+        assert out[0].check == "bound_order"
+        assert out[0].iteration == 4
+        assert out[0].node == 1
+
+    def test_slack_tolerated(self):
+        lower = np.array([0.300001])
+        upper = np.array([0.3])
+        assert check_bound_order(lower, upper, slack=1e-3) == []
+
+
+class TestMonotoneEvolution:
+    def _snap(self, it, lower, upper, dummy=1.0):
+        lower = np.asarray(lower, dtype=float)
+        upper = np.asarray(upper, dtype=float)
+        return BoundSnapshot(
+            iteration=it,
+            lower=lower,
+            upper=upper,
+            dummy_value=dummy,
+            size=len(lower),
+        )
+
+    def test_tightening_is_clean(self):
+        prev = self._snap(1, [0.1, 0.2], [0.9, 0.8])
+        cur = self._snap(2, [0.15, 0.2, 0.0], [0.8, 0.7, 1.0], dummy=0.9)
+        assert check_monotone_evolution(prev, cur, slack=1e-9) == []
+
+    def test_lower_regression_detected(self):
+        prev = self._snap(1, [0.5], [0.9])
+        cur = self._snap(2, [0.3], [0.9])
+        out = check_monotone_evolution(prev, cur, slack=1e-6)
+        assert [v.check for v in out] == ["monotone"]
+        assert "lower bound fell" in out[0].message
+
+    def test_upper_rise_detected(self):
+        prev = self._snap(1, [0.1], [0.5])
+        cur = self._snap(2, [0.1], [0.7])
+        out = check_monotone_evolution(prev, cur, slack=1e-6)
+        assert "upper bound rose" in out[0].message
+
+    def test_dummy_rise_detected(self):
+        prev = self._snap(1, [0.1], [0.5], dummy=0.4)
+        cur = self._snap(2, [0.1], [0.5], dummy=0.6)
+        out = check_monotone_evolution(prev, cur, slack=1e-6)
+        assert "dummy value rose" in out[0].message
+
+    def test_only_common_prefix_compared(self):
+        prev = self._snap(1, [0.5], [0.6])
+        # New node at index 1 starts at trivial bounds — not a regression.
+        cur = self._snap(2, [0.5, 0.0], [0.6, 1.0])
+        assert check_monotone_evolution(prev, cur, slack=1e-9) == []
+
+
+class TestSandwich:
+    def test_truth_inside(self):
+        out = check_sandwich(
+            np.array([0.1]), np.array([0.3]), np.array([0.2]), slack=0.0
+        )
+        assert out == []
+
+    def test_truth_outside_detected(self):
+        out = check_sandwich(
+            np.array([0.1, 0.4]),
+            np.array([0.3, 0.6]),
+            np.array([0.05, 0.7]),
+            slack=1e-9,
+            nodes=np.array([17, 23]),
+        )
+        assert len(out) == 2
+        assert {v.node for v in out} == {17, 23}
+
+
+def _php_cert(**overrides):
+    base = dict(
+        kind="php",
+        k=2,
+        tie_epsilon=0.0,
+        exact=True,
+        exhausted=False,
+        termination="exact",
+        bound_gap=0.0,
+        top=np.array([1, 2]),
+        lb_score=np.array([1.0, 0.5, 0.4, 0.1, 0.05]),
+        ub_score=np.array([1.0, 0.52, 0.42, 0.2, 0.3]),
+        upper_raw=np.array([1.0, 0.52, 0.42, 0.2, 0.3]),
+        eligible=np.array([False, True, True, True, True]),
+        settled=np.array([True, True, True, True, False]),
+        boundary=np.array([False, False, False, False, True]),
+    )
+    base.update(overrides)
+    return CertificateRecord(**base)
+
+
+class TestFlags:
+    def test_exact_consistent(self):
+        assert check_flags(_php_cert()) == []
+
+    def test_exact_with_budget_reason(self):
+        out = check_flags(_php_cert(termination="deadline"))
+        assert any("termination reason" in v.message for v in out)
+
+    def test_anytime_claiming_exact(self):
+        out = check_flags(_php_cert(exact=False, termination="exact"))
+        assert any("claims termination 'exact'" in v.message for v in out)
+
+    def test_anytime_negative_gap(self):
+        out = check_flags(
+            _php_cert(exact=False, termination="deadline", bound_gap=-0.1)
+        )
+        assert any("negative bound_gap" in v.message for v in out)
+
+
+class TestCertificateReplay:
+    def test_valid_certificate(self):
+        # ub_score[3] = 0.2 < min_top lb 0.4; boundary node 4's ub 0.3
+        # is also a rival and also below — the certificate closes.
+        assert check_certificate(_php_cert()) == []
+
+    def test_rival_dominates(self):
+        cert = _php_cert(
+            ub_score=np.array([1.0, 0.52, 0.42, 0.45, 0.3]),
+        )
+        out = check_certificate(cert)
+        assert any("rival upper bound" in v.message for v in out)
+
+    def test_unsettled_top(self):
+        cert = _php_cert(
+            settled=np.array([True, True, False, True, False])
+        )
+        out = check_certificate(cert)
+        assert any("unsettled node" in v.message for v in out)
+
+    def test_top_contains_query(self):
+        cert = _php_cert(top=np.array([0, 1]))
+        out = check_certificate(cert)
+        assert any("query or an excluded" in v.message for v in out)
+
+    def test_exhausted_with_boundary(self):
+        cert = _php_cert(
+            exhausted=True,
+            top=np.array([1]),
+            k=4,
+            eligible=np.array([False, True, False, False, False]),
+        )
+        out = check_certificate(cert)
+        assert any("boundary" in v.message for v in out)
+
+    def test_exhausted_route_skips_rival_rule(self):
+        # Component fully visited (empty boundary): bounds carry a tau
+        # residual, so rival ub may exceed min-top lb without error —
+        # only the lb *selection* is replayed.
+        cert = _php_cert(
+            boundary=np.zeros(5, dtype=bool),
+            settled=np.ones(5, dtype=bool),
+            ub_score=np.array([1.0, 0.52, 0.42, 0.41, 0.1]),
+        )
+        assert check_certificate(cert) == []
+
+    def test_exhausted_route_wrong_selection(self):
+        cert = _php_cert(
+            boundary=np.zeros(5, dtype=bool),
+            settled=np.ones(5, dtype=bool),
+            lb_score=np.array([1.0, 0.5, 0.4, 0.45, 0.05]),
+        )
+        out = check_certificate(cert)
+        assert any("ranking is wrong" in v.message for v in out)
+
+    def test_degree_weighted_guard(self):
+        cert = _php_cert(
+            degree_weighted=True,
+            w_out=4.0,
+            upper_raw=np.array([1.0, 0.52, 0.42, 0.2, 0.3]),
+        )
+        # 4.0 * 0.3 = 1.2 > min_top 0.4 — the Sec. 5.6 cap is violated.
+        out = check_certificate(cert)
+        assert any("Sec. 5.6" in v.message for v in out)
+
+    def test_degree_weighted_missing_w_out(self):
+        cert = _php_cert(degree_weighted=True, w_out=None)
+        out = check_certificate(cert)
+        assert any("no recorded w_out" in v.message for v in out)
+
+    def test_tht_mirror(self):
+        cert = CertificateRecord(
+            kind="tht",
+            k=1,
+            tie_epsilon=0.0,
+            exact=True,
+            exhausted=False,
+            termination="exact",
+            bound_gap=0.0,
+            top=np.array([1]),
+            lb_score=np.array([0.0, 1.0, 2.5]),
+            ub_score=np.array([0.0, 2.0, 5.0]),
+            upper_raw=np.array([0.0, 2.0, 5.0]),
+            eligible=np.array([False, True, True]),
+            settled=np.array([True, True, False]),
+            boundary=np.array([False, False, True]),
+        )
+        assert check_certificate(cert) == []
+        # A rival whose lb undercuts the returned max ub breaks it.
+        cert.lb_score = np.array([0.0, 1.0, 1.5])
+        out = check_certificate(cert)
+        assert any("undercuts" in v.message for v in out)
+
+
+# ----------------------------------------------------------------------
+# Engine integration
+# ----------------------------------------------------------------------
+
+
+class TestAuditModes:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    @pytest.mark.parametrize("measure,kwargs", MEASURES)
+    def test_check_mode_passes_everywhere(self, measure, kwargs, solver):
+        session = _session(measure, kwargs, audit="check", solver=solver)
+        result = session.top_k(QUERY, K)
+        assert result.audit is not None
+        assert result.audit.ok
+        assert result.stats.audit_checks > 0
+        assert result.stats.audit_violations == 0
+        metrics = session.metrics()
+        assert metrics.audit_checks == result.stats.audit_checks
+        assert metrics.audit_violations == 0
+
+    def test_record_mode_accumulates_snapshots(self):
+        session = _session("php", {"c": 0.5}, audit="record")
+        result = session.top_k(QUERY, K)
+        report = result.audit
+        assert report.mode == "record"
+        assert len(report.snapshots) >= 2
+        assert report.certificate is not None
+        # Snapshot sizes follow the growing visited set.
+        sizes = [snap.size for snap in report.snapshots]
+        assert sizes == sorted(sizes)
+
+    def test_off_mode_attaches_nothing(self):
+        session = _session("php", {"c": 0.5})
+        result = session.top_k(QUERY, K)
+        assert result.audit is None
+        assert result.stats.audit_checks == 0
+        assert session.metrics().audit_checks == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FLoSOptions(audit="verbose").validate(K)
+
+    def test_anytime_run_audited(self):
+        session = _session(
+            "rwr",
+            {"c": 0.5},
+            audit="check",
+            max_visited=12,
+            on_budget="degrade",
+        )
+        result = session.top_k(QUERY, K)
+        assert not result.exact
+        assert result.audit is not None and result.audit.ok
+
+    def test_metrics_accumulate_across_queries(self):
+        session = _session("php", {"c": 0.5}, audit="check")
+        total = 0
+        for q in (3, 9, 14):
+            total += session.top_k(q, K).stats.audit_checks
+        assert session.metrics().audit_checks == total
+
+
+class TestCorruptionDetection:
+    def test_corrupted_lower_bound_caught(self, monkeypatch):
+        """Scaling the solver's lower bounds down breaks monotonicity."""
+        real = DualBoundKernel.refresh
+        calls = {"n": 0}
+
+        def corrupted(self, *args, **kwargs):
+            lb, ub, sweeps = real(self, *args, **kwargs)
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                lb = lb * 0.9
+            return lb, ub, sweeps
+
+        monkeypatch.setattr(DualBoundKernel, "refresh", corrupted)
+        session = _session("php", {"c": 0.5}, audit="check", solver="fused")
+        with pytest.raises(AuditError) as err:
+            session.top_k(QUERY, K)
+        assert err.value.violations
+
+    def test_corrupted_upper_bound_caught(self, monkeypatch):
+        """Deflating upper bounds lets lower cross upper — bound order."""
+        real = DualBoundKernel.refresh
+
+        def corrupted(self, *args, **kwargs):
+            lb, ub, sweeps = real(self, *args, **kwargs)
+            return lb, ub * 0.5, sweeps
+
+        monkeypatch.setattr(DualBoundKernel, "refresh", corrupted)
+        session = _session("php", {"c": 0.5}, audit="check", solver="fused")
+        with pytest.raises(AuditError):
+            session.top_k(QUERY, K)
+
+    def test_lazy_solver_caught_by_residual(self, monkeypatch):
+        """A refresh that claims convergence without solving is caught.
+
+        This is the failure mode the selective solver's active-set
+        bookkeeping could hit silently (a row wrongly left out of the
+        active set keeps its stale value); the independent residual
+        check (:meth:`DualBoundKernel.residual_norms`) fires on it.
+        """
+
+        def lazy(self, lb, ub, diag, e_lower, e_upper, *, tau, max_iterations):
+            self._op.sync()
+            return lb.copy(), ub.copy(), 1  # stale bounds, claims done
+
+        monkeypatch.setattr(DualBoundKernel, "refresh", lazy)
+        session = _session("php", {"c": 0.5}, audit="check", solver="fused")
+        with pytest.raises(AuditError) as err:
+            session.top_k(QUERY, K)
+        assert any(v.check == "solver" for v in err.value.violations)
+
+    def test_record_mode_collects_instead_of_raising(self, monkeypatch):
+        real = DualBoundKernel.refresh
+
+        def corrupted(self, *args, **kwargs):
+            lb, ub, sweeps = real(self, *args, **kwargs)
+            return lb, ub * 0.5, sweeps
+
+        monkeypatch.setattr(DualBoundKernel, "refresh", corrupted)
+        session = _session("php", {"c": 0.5}, audit="record", solver="fused")
+        result = session.top_k(QUERY, K)
+        assert not result.audit.ok
+        assert result.stats.audit_violations > 0
+        assert session.metrics().audit_violations > 0
+
+
+# ----------------------------------------------------------------------
+# Property test: audit="check" on random graphs (satellite 6)
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestAuditProperty:
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        config=st.sampled_from(
+            [
+                (m, kw, s)
+                for m, kw in MEASURES
+                for s in ("jacobi", "gauss_seidel")
+            ]
+        ),
+    )
+    def test_check_mode_never_fires_on_random_graphs(self, seed, config):
+        measure, kwargs, solver = config
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 40))
+        graph = erdos_renyi(
+            n, int(rng.integers(n, 3 * n)), seed=int(rng.integers(2**31))
+        )
+        connected = np.flatnonzero(graph.degrees > 0)
+        if len(connected) == 0:
+            return
+        query = int(connected[rng.integers(0, len(connected))])
+        k = int(rng.integers(1, min(6, n - 1) + 1))
+        session = QuerySession(
+            graph,
+            measure=measure,
+            **kwargs,
+            options=FLoSOptions(audit="check", solver=solver),
+        )
+        result = session.top_k(query, k)  # raises AuditError on any bug
+        assert result.audit.ok

@@ -85,7 +85,11 @@ class TestLRUCache:
         session = QuerySession(graph, PHP(0.5))
         first = session.top_k(5, 4)
         second = session.top_k(5, 4)
-        assert second is first  # served from the LRU, same object
+        # Served from the LRU as a defensive copy: same answer, never
+        # the same object (so caller mutations cannot poison the cache).
+        assert second is not first
+        assert np.array_equal(second.nodes, first.nodes)
+        assert np.allclose(second.values, first.values)
         m = session.metrics()
         assert m.cache_hits == 1 and m.cache_misses == 1
 
@@ -280,7 +284,8 @@ class TestEdgeCases:
         result = session.top_k(2, 3)  # node 2 is isolated
         assert len(result) == 0 and result.exhausted_component
         again = session.top_k(2, 3)
-        assert again is result
+        assert again is not result  # cache hits are defensive copies
+        assert len(again) == 0 and again.exhausted_component
 
     def test_exclude_respected(self, graph):
         session = QuerySession(graph, PHP(0.5))
