@@ -1,0 +1,292 @@
+"""Serving-tier benchmark: thread pool vs sharded worker processes (PR 6).
+
+Stands up the same query workload three ways and writes a JSON report
+(``BENCH_PR6.json``) so the perf trajectory accumulates across PRs:
+
+* **thread mode** — one :class:`~repro.core.session.QuerySession` with
+  ``top_k_many(workers=N)``: the GIL-bound baseline;
+* **process mode** — :class:`repro.serve.ShardedServer` over a
+  zero-copy shared-memory graph, N worker processes with per-worker
+  result caches; qps and p50/p95 from the dispatcher's own metrics;
+* **crash stage** — a worker is SIGSTOPped, its requests pile up
+  in-flight, a timer SIGKILLs it mid-batch: the batch must still
+  complete with every request answered (respawn + retry-once), results
+  bitwise-identical to the reference, and no ``/dev/shm`` segment may
+  leak afterwards.
+
+Every mode's node lists are checked bitwise against a plain
+single-threaded :class:`QuerySession` reference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --preset smoke --check --output BENCH_PR6.json
+
+The ``smoke`` preset fits a CI job; ``full`` runs the 1/4/8-worker
+sweep used for the committed ``BENCH_PR6.json``.  The >= 3x
+process-over-thread qps criterion is only enforced by ``--check`` when
+the host has >= 4 CPUs — worker processes cannot beat a thread pool on
+a single core, and the report records ``cpu_count`` so the context
+travels with the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.workload import sample_queries
+from repro.core.flos import FLoSOptions
+from repro.core.session import QuerySession
+from repro.graph.generators import rmat
+from repro.measures import RWR
+from repro.serve import ShardedServer
+from repro.serve.shared import SEGMENT_PREFIX
+
+PRESETS = {
+    # scale, edges, distinct workload queries, replay rounds, worker sweep
+    "smoke": {
+        "scale": 10,
+        "edges": 5_000,
+        "queries": 12,
+        "rounds": 2,
+        "workers": [1, 2],
+    },
+    "full": {
+        "scale": 12,
+        "edges": 40_000,
+        "queries": 50,
+        "rounds": 2,
+        "workers": [1, 4, 8],
+    },
+}
+
+MEASURE = RWR(0.5)
+K = 10
+
+
+def _options() -> FLoSOptions:
+    return FLoSOptions(tie_epsilon=1e-5)
+
+
+def _node_lists(results) -> list[list[int]]:
+    return [list(int(n) for n in r.nodes) for r in results]
+
+
+def _segments() -> list[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # pragma: no cover - non-Linux host
+        return []
+    return sorted(p.name for p in shm.glob(f"{SEGMENT_PREFIX}*"))
+
+
+def reference_results(graph, queries):
+    """Plain single-threaded session: the bitwise ground truth."""
+    session = QuerySession(graph, MEASURE, options=_options(), cache_size=0)
+    return _node_lists(session.top_k_many(queries, K).results)
+
+
+def bench_thread(graph, queries, rounds, workers):
+    session = QuerySession(graph, MEASURE, options=_options())
+    round_seconds = []
+    last_nodes = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        batch = session.top_k_many(queries, K, workers=workers)
+        round_seconds.append(time.perf_counter() - started)
+        last_nodes = _node_lists(batch.results)
+    metrics = session.metrics()
+    total = sum(round_seconds)
+    return {
+        "mode": "thread",
+        "workers": workers,
+        "round_seconds": round_seconds,
+        "qps": rounds * len(queries) / total if total else float("inf"),
+        "p50_wall_seconds": metrics.p50_wall_seconds,
+        "p95_wall_seconds": metrics.p95_wall_seconds,
+        "cache_hits": metrics.cache_hits,
+    }, last_nodes
+
+
+def bench_process(graph, queries, rounds, workers):
+    with ShardedServer(
+        graph, MEASURE, options=_options(), workers=workers
+    ) as server:
+        round_seconds = []
+        last_nodes = None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            batch = server.top_k_many(queries, K)
+            round_seconds.append(time.perf_counter() - started)
+            last_nodes = _node_lists(batch.results)
+        metrics = server.metrics()
+    total = sum(round_seconds)
+    return {
+        "mode": "process",
+        "workers": workers,
+        "round_seconds": round_seconds,
+        "qps": rounds * len(queries) / total if total else float("inf"),
+        "p50_wall_seconds": metrics.p50_wall_seconds,
+        "p95_wall_seconds": metrics.p95_wall_seconds,
+        "cache_hits": metrics.cache_hits,
+        "respawns": metrics.respawns,
+        "per_worker_served": [
+            row.get("queries_served", 0) for row in metrics.per_worker
+        ],
+    }, last_nodes
+
+
+def bench_crash_stage(graph, queries, reference):
+    """SIGKILL a worker mid-batch; nothing may be lost or leaked."""
+    before = _segments()
+    with ShardedServer(
+        graph, MEASURE, options=_options(), workers=2
+    ) as server:
+        victim = server.worker_pids()[0]
+        os.kill(victim, signal.SIGSTOP)
+        timer = threading.Timer(
+            0.3, lambda: os.kill(victim, signal.SIGKILL)
+        )
+        timer.start()
+        try:
+            batch = server.top_k_many(queries, K)
+        finally:
+            timer.join()
+        metrics = server.metrics()
+        nodes = _node_lists(batch.results)
+    return {
+        "requests": len(queries),
+        "completed": len(nodes),
+        "respawns": metrics.respawns,
+        "retried": metrics.retried,
+        "topk_identical": nodes == reference,
+        "segments_leaked": sorted(set(_segments()) - set(before)),
+    }
+
+
+def run(preset: str) -> dict:
+    cfg = PRESETS[preset]
+    graph = rmat(cfg["scale"], cfg["edges"], seed=21)
+    queries = [int(q) for q in sample_queries(graph, cfg["queries"], seed=20140622)]
+    reference = reference_results(graph, queries)
+
+    sweep = []
+    identical = True
+    for workers in cfg["workers"]:
+        thread_row, thread_nodes = bench_thread(
+            graph, queries, cfg["rounds"], workers
+        )
+        process_row, process_nodes = bench_process(
+            graph, queries, cfg["rounds"], workers
+        )
+        identical &= thread_nodes == reference
+        identical &= process_nodes == reference
+        sweep.append(
+            {
+                "workers": workers,
+                "thread": thread_row,
+                "process": process_row,
+                "process_over_thread_qps": (
+                    process_row["qps"] / thread_row["qps"]
+                    if thread_row["qps"]
+                    else float("inf")
+                ),
+            }
+        )
+
+    return {
+        "bench": "bench_serve (PR 6)",
+        "preset": preset,
+        "cpu_count": os.cpu_count(),
+        "graph": {
+            "model": "rmat",
+            "nodes": int(graph.num_nodes),
+            "edges": int(graph.num_edges),
+            "seed": 21,
+        },
+        "k": K,
+        "measure": "rwr(c=0.5)",
+        "queries": len(queries),
+        "rounds": cfg["rounds"],
+        "sweep": sweep,
+        "topk_identical_to_reference": bool(identical),
+        "crash_stage": bench_crash_stage(graph, queries, reference),
+    }
+
+
+def check(payload: dict) -> list[str]:
+    """Acceptance assertions; returns a list of failures (empty = pass)."""
+    failures = []
+    if not payload["topk_identical_to_reference"]:
+        failures.append(
+            "a serving mode's top-k differs from the single-session "
+            "reference"
+        )
+    crash = payload["crash_stage"]
+    if crash["completed"] != crash["requests"]:
+        failures.append(
+            f"crash stage lost requests: {crash['completed']} of "
+            f"{crash['requests']} completed"
+        )
+    if not crash["topk_identical"]:
+        failures.append("crash-stage results differ from the reference")
+    if crash["segments_leaked"]:
+        failures.append(
+            f"leaked shared-memory segments: {crash['segments_leaked']}"
+        )
+    cpus = payload["cpu_count"] or 1
+    if cpus >= 4:
+        best = max(row["process_over_thread_qps"] for row in payload["sweep"])
+        if best < 3.0:
+            failures.append(
+                f"best process-over-thread qps {best:.2f}x < required 3x "
+                f"(cpu_count={cpus})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--output", type=Path, default=Path("BENCH_PR6.json"))
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) unless the acceptance criteria hold",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.preset)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.output}  (cpu_count={payload['cpu_count']})")
+    for row in payload["sweep"]:
+        print(
+            f"  workers={row['workers']}: thread "
+            f"{row['thread']['qps']:8.1f} q/s | process "
+            f"{row['process']['qps']:8.1f} q/s "
+            f"({row['process_over_thread_qps']:.2f}x), process p95 "
+            f"{row['process']['p95_wall_seconds'] * 1e3:.2f} ms"
+        )
+    crash = payload["crash_stage"]
+    print(
+        f"  crash stage: {crash['completed']}/{crash['requests']} "
+        f"completed, respawns={crash['respawns']}, "
+        f"retried={crash['retried']}, leaked={crash['segments_leaked']}"
+    )
+
+    if args.check:
+        failures = check(payload)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,8 @@ paper-to-module map.
 from repro.core import (
     BatchSummary,
     FLoSOptions,
+    QueryOverrides,
+    QueryRequest,
     QuerySession,
     SearchStats,
     SessionMetrics,
@@ -52,12 +54,14 @@ from repro.measures import (
     solve_direct,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "flos_top_k",
     "flos_top_k_batch",
     "basic_top_k",
+    "QueryOverrides",
+    "QueryRequest",
     "QuerySession",
     "SessionMetrics",
     "BatchSummary",

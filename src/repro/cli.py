@@ -24,7 +24,7 @@ import time
 from pathlib import Path
 
 from repro import __version__
-from repro.core.api import flos_top_k
+from repro.core.api import QueryOverrides, flos_top_k
 from repro.core.flos import FLoSOptions
 from repro.core.kernels import SOLVERS
 from repro.core.session import QuerySession
@@ -192,7 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload replays (rounds > 1 exercise the result cache)",
     )
     serve.add_argument(
-        "--workers", type=int, default=1, help="thread-pool fan-out width"
+        "--workers", type=int, default=1, help="fan-out width"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="thread: QuerySession.top_k_many thread pool (default); "
+        "process: ShardedServer worker processes over a zero-copy "
+        "shared graph",
+    )
+    serve.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write a JSON summary (qps, p50/p95) to this path",
     )
     serve.add_argument(
         "--cache-size", type=int, default=256, help="LRU result-cache entries"
@@ -303,18 +317,24 @@ def cmd_stats(args) -> int:
 
 def cmd_query(args) -> int:
     measure: Measure = measure_from_args(args)
-    extra = {"solver": args.solver} if args.solver else {}
+    # Session-shaped knobs go in FLoSOptions; the per-request knobs ride
+    # the same QueryOverrides contract the serving tier speaks.
     options = FLoSOptions(
         tau=args.tau,
         tie_epsilon=args.tie_epsilon,
-        deadline_seconds=args.deadline,
         max_visited=args.max_visited,
+    )
+    overrides = QueryOverrides(
+        deadline_seconds=args.deadline,
         on_budget=args.on_budget,
-        **extra,
+        solver=args.solver,
     )
     graph = open_graph(args.input, memory_budget=args.memory_budget)
     try:
-        result = flos_top_k(graph, measure, args.query, args.k, options=options)
+        result = flos_top_k(
+            graph, measure, args.query, args.k,
+            options=options, overrides=overrides,
+        )
     finally:
         if isinstance(graph, DiskGraph):
             graph.close()
@@ -356,19 +376,121 @@ def cmd_bench(args) -> int:
 
 
 def cmd_bench_serve(args) -> int:
+    if getattr(args, "mode", "thread") == "process":
+        return _bench_serve_process(args)
+    return _bench_serve_thread(args)
+
+
+def _bench_serve_options(args) -> tuple[Measure, FLoSOptions, QueryOverrides]:
+    measure = measure_from_args(args)
+    options = FLoSOptions(tau=args.tau, tie_epsilon=args.tie_epsilon)
+    overrides = QueryOverrides(
+        deadline_seconds=args.deadline,
+        on_budget=args.on_budget,
+        solver=args.solver,
+    )
+    return measure, options, overrides
+
+
+def _write_bench_output(args, payload: dict) -> None:
+    if args.output is None:
+        return
+    import json
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+def _bench_serve_process(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.bench.workload import sample_queries
+    from repro.serve import ShardedServer
+
+    measure, options, overrides = _bench_serve_options(args)
+    graph = open_graph(args.input, memory_budget=args.memory_budget)
+    round_seconds = []
+    try:
+        queries = sample_queries(graph, args.queries, seed=args.seed)
+        with ShardedServer.from_graph(
+            graph,
+            measure,
+            options=options,
+            cache_size=args.cache_size,
+            workers=args.workers,
+        ) as server:
+            for round_no in range(1, max(1, args.rounds) + 1):
+                round_started = time.perf_counter()
+                batch = server.top_k_many(
+                    queries, args.k, overrides=overrides
+                )
+                elapsed = time.perf_counter() - round_started
+                round_seconds.append(elapsed)
+                print(
+                    f"round {round_no}: {len(batch)} queries in "
+                    f"{elapsed * 1e3:.1f} ms wall "
+                    f"({elapsed / len(batch) * 1e3:.2f} ms/query), "
+                    f"all_exact={batch.all_exact}"
+                )
+            metrics = server.metrics()
+    finally:
+        if isinstance(graph, DiskGraph):
+            graph.close()
+
+    d = metrics.to_dict()
+    rows = [
+        ["worker processes", d["workers"]],
+        ["requests completed", d["requests_completed"]],
+        ["rejected / degraded admissions",
+         f"{d['rejected']} / {d['degraded_admissions']}"],
+        ["worker respawns / retried", f"{d['respawns']} / {d['retried']}"],
+        ["cache hits (all workers)", d["cache_hits"]],
+        ["degraded results", d["degraded_results"]],
+        ["qps", f"{d['qps']:.1f}"],
+        ["p50 request latency", f"{d['p50_wall_seconds'] * 1e3:.3f} ms"],
+        ["p95 request latency", f"{d['p95_wall_seconds'] * 1e3:.3f} ms"],
+    ]
+    print()
+    print(
+        format_table(
+            f"sharded serving metrics — {measure.name}({measure.params()}), "
+            f"k={args.k}, workers={args.workers}",
+            ["metric", "value"],
+            rows,
+        )
+    )
+    print("per-worker:")
+    for w in d["per_worker"]:
+        print(
+            f"  worker {w['worker']} (pid {w['pid']}): "
+            f"served={w.get('queries_served', '?')} "
+            f"cache_hits={w.get('cache_hits', '?')} "
+            f"respawns={w['respawns']}"
+        )
+    _write_bench_output(
+        args,
+        {
+            "mode": "process",
+            "workers": args.workers,
+            "queries": args.queries,
+            "rounds": args.rounds,
+            "k": args.k,
+            "round_seconds": round_seconds,
+            "qps": d["qps"],
+            "p50_wall_seconds": d["p50_wall_seconds"],
+            "p95_wall_seconds": d["p95_wall_seconds"],
+            "metrics": d,
+        },
+    )
+    return 0
+
+
+def _bench_serve_thread(args) -> int:
     from repro.bench.tables import format_table
     from repro.bench.workload import sample_queries
 
-    measure = measure_from_args(args)
-    extra = {"solver": args.solver} if args.solver else {}
-    options = FLoSOptions(
-        tau=args.tau,
-        tie_epsilon=args.tie_epsilon,
-        deadline_seconds=args.deadline,
-        on_budget=args.on_budget,
-        **extra,
-    )
+    measure, options, overrides = _bench_serve_options(args)
     graph = open_graph(args.input, memory_budget=args.memory_budget)
+    round_seconds = []
     try:
         session = QuerySession(
             graph, measure, options=options, cache_size=args.cache_size
@@ -377,9 +499,10 @@ def cmd_bench_serve(args) -> int:
         for round_no in range(1, max(1, args.rounds) + 1):
             round_started = time.perf_counter()
             batch = session.top_k_many(
-                queries, args.k, workers=args.workers
+                queries, args.k, workers=args.workers, overrides=overrides
             )
             elapsed = time.perf_counter() - round_started
+            round_seconds.append(elapsed)
             print(
                 f"round {round_no}: {len(batch)} queries in "
                 f"{elapsed * 1e3:.1f} ms wall "
@@ -431,6 +554,22 @@ def cmd_bench_serve(args) -> int:
                 f"visited={entry['visited_nodes']:<8} "
                 f"{entry['termination']}"
             )
+    total = sum(round_seconds)
+    _write_bench_output(
+        args,
+        {
+            "mode": "thread",
+            "workers": args.workers,
+            "queries": args.queries,
+            "rounds": args.rounds,
+            "k": args.k,
+            "round_seconds": round_seconds,
+            "qps": (d["queries_served"] / total) if total > 0 else 0.0,
+            "p50_wall_seconds": d["p50_wall_seconds"],
+            "p95_wall_seconds": d["p95_wall_seconds"],
+            "metrics": d,
+        },
+    )
     return 0
 
 

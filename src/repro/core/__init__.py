@@ -1,6 +1,6 @@
 """FLoS core: local view, bound engines, sessions, and the query API."""
 
-from repro.core.api import flos_top_k
+from repro.core.api import QueryOverrides, QueryRequest, flos_top_k
 from repro.core.basic_search import basic_top_k
 from repro.core.batch import flos_top_k_batch
 from repro.core.degree_index import DegreeIndex, degree_descending_order
@@ -18,6 +18,8 @@ from repro.core.session import QuerySession, SessionMetrics
 __all__ = [
     "flos_top_k",
     "flos_top_k_batch",
+    "QueryOverrides",
+    "QueryRequest",
     "BatchSummary",
     "basic_top_k",
     "FLoSOptions",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.api import QueryOverrides, resolve_overrides
 from repro.core.flos import FLoSOptions
 from repro.core.result import BatchSummary
 from repro.core.session import QuerySession
@@ -37,6 +38,7 @@ def flos_top_k_batch(
     *,
     options: FLoSOptions | None = None,
     workers: int = 1,
+    overrides: QueryOverrides | None = None,
     deadline_seconds: float | None = None,
     on_budget: str | None = None,
     **measure_params,
@@ -46,19 +48,17 @@ def flos_top_k_batch(
     Equivalent to a loop of single queries but warms the shared
     per-graph caches up front; results come back in input order.
     ``measure`` may be a name string (see
-    :func:`repro.measures.resolve_measure`).  ``deadline_seconds`` /
-    ``on_budget`` apply per query (see
+    :func:`repro.measures.resolve_measure`).  ``overrides``
+    (:class:`~repro.core.api.QueryOverrides`) applies per query (see
     :meth:`~repro.core.session.QuerySession.top_k_many`), so one
     pathological query degrades to an anytime result instead of
-    stalling the batch.
+    stalling the batch.  The bare ``deadline_seconds`` / ``on_budget``
+    keywords are the deprecated pre-1.5 spelling (they warn).
     """
+    resolved = resolve_overrides(
+        overrides, deadline_seconds, on_budget, caller="flos_top_k_batch"
+    )
     session = QuerySession(
         graph, measure, options=options, cache_size=0, **measure_params
     )
-    return session.top_k_many(
-        queries,
-        k,
-        workers=workers,
-        deadline_seconds=deadline_seconds,
-        on_budget=on_budget,
-    )
+    return session.top_k_many(queries, k, workers=workers, overrides=resolved)

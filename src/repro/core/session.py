@@ -27,8 +27,11 @@ Deadline-aware serving: every budget in
 anytime result with certified bounds instead of raising, which is what
 bounds tail latency on pathological queries (e.g. near-ties that would
 otherwise force visiting the whole component).  ``top_k`` and
-``top_k_many`` take per-call ``deadline_seconds`` / ``on_budget``
-overrides.
+``top_k_many`` take a per-call
+:class:`~repro.core.api.QueryOverrides` (``deadline_seconds``,
+``on_budget``, ``solver``, ``audit``) — the same contract the one-shot
+helpers and the multi-process :class:`repro.serve.ShardedServer`
+accept.
 
 ``top_k_many`` fans a workload out over a thread pool.  Every query
 builds its own engine instance (engines are single-use by design), so
@@ -47,11 +50,12 @@ import heapq
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.api import QueryOverrides, QueryRequest, resolve_overrides
 from repro.core.degree_index import DegreeIndex, degree_descending_order
 from repro.core.flos import EngineOutcome, FLoSOptions, PHPSpaceEngine
 from repro.core.flos_tht import THTEngine
@@ -267,6 +271,7 @@ class QuerySession:
         k: int,
         *,
         exclude: set[int] | frozenset[int] | None = None,
+        overrides: QueryOverrides | None = None,
         deadline_seconds: float | None = None,
         on_budget: str | None = None,
     ) -> TopKResult:
@@ -278,22 +283,37 @@ class QuerySession:
         returned result (its arrays or ``stats``) can never corrupt
         what later callers receive.
 
-        ``deadline_seconds`` / ``on_budget`` override the session-level
-        :class:`~repro.core.flos.FLoSOptions` for this call only — e.g.
-        a latency-sensitive caller passes
-        ``deadline_seconds=0.05, on_budget="degrade"`` to get the best
-        certified answer 50 ms can buy (``exact=False`` when the budget
-        fires; see ``stats.termination``).  To lift a session-level
-        deadline for one call, pass ``deadline_seconds=float("inf")``.
-        Anytime results are never cached.
+        ``overrides`` is the unified per-call contract
+        (:class:`~repro.core.api.QueryOverrides`): ``deadline_seconds``
+        / ``on_budget`` / ``solver`` / ``audit`` applied on top of the
+        session-level :class:`~repro.core.flos.FLoSOptions` for this
+        call only — e.g. a latency-sensitive caller passes
+        ``overrides=QueryOverrides(deadline_seconds=0.05,
+        on_budget="degrade")`` to get the best certified answer 50 ms
+        can buy (``exact=False`` when the budget fires; see
+        ``stats.termination``).  To lift a session-level deadline for
+        one call, use ``deadline_seconds=float("inf")``.  Anytime
+        results are never cached, and calls whose overrides change the
+        result payload (``solver``, ``audit``) are cached under their
+        own key.
+
+        The bare ``deadline_seconds`` / ``on_budget`` keywords are the
+        deprecated pre-1.5 spelling (they warn).
         """
         started = time.monotonic()
-        options = self._per_call_options(deadline_seconds, on_budget)
+        resolved = resolve_overrides(
+            overrides, deadline_seconds, on_budget,
+            caller="QuerySession.top_k",
+        )
+        options = self._per_call_options(resolved)
         options.validate(k)
         excluded = (
             frozenset(int(v) for v in exclude) if exclude else frozenset()
         )
-        key = (int(query), int(k), excluded)
+        # solver and audit change the result payload (stats.solver, the
+        # attached audit report), so they partition the cache; budget
+        # overrides do not — a cached exact answer satisfies any budget.
+        key = (int(query), int(k), excluded, resolved.solver, resolved.audit)
 
         # Cache lookup, hit accounting, and the defensive copy happen
         # under one lock acquisition: copying outside it would let a
@@ -320,6 +340,21 @@ class QuerySession:
         self._record_miss(result)
         return result
 
+    def serve(self, request: QueryRequest) -> TopKResult:
+        """Answer one :class:`~repro.core.api.QueryRequest`.
+
+        The request dataclass is the wire format of the sharded serving
+        tier (:class:`repro.serve.ShardedServer`); this method is what
+        its worker processes call, so the in-process and multi-process
+        paths execute identically by construction.
+        """
+        return self.top_k(
+            request.query,
+            request.k,
+            exclude=request.exclude,
+            overrides=request.overrides,
+        )
+
     def top_k_many(
         self,
         queries: Sequence[int] | Iterable[int],
@@ -327,6 +362,7 @@ class QuerySession:
         *,
         workers: int = 1,
         exclude: set[int] | frozenset[int] | None = None,
+        overrides: QueryOverrides | None = None,
         deadline_seconds: float | None = None,
         on_budget: str | None = None,
     ) -> BatchSummary:
@@ -346,12 +382,18 @@ class QuerySession:
         extra cache misses in :meth:`metrics`), never divergent
         results.
 
-        ``deadline_seconds`` / ``on_budget`` apply *per query* (each
-        query gets the full deadline), exactly as in :meth:`top_k` —
-        under ``on_budget="degrade"`` a pathological query in the
-        workload degrades to an anytime result instead of stalling its
-        worker, so batch latency stays bounded.
+        ``overrides`` (:class:`~repro.core.api.QueryOverrides`) applies
+        *per query* (each query gets the full deadline), exactly as in
+        :meth:`top_k` — under ``on_budget="degrade"`` a pathological
+        query in the workload degrades to an anytime result instead of
+        stalling its worker, so batch latency stays bounded.  The bare
+        ``deadline_seconds`` / ``on_budget`` keywords are the
+        deprecated pre-1.5 spelling (they warn).
         """
+        resolved = resolve_overrides(
+            overrides, deadline_seconds, on_budget,
+            caller="QuerySession.top_k_many",
+        )
         query_list = [int(q) for q in queries]
         if not query_list:
             raise SearchError("query batch must not be empty")
@@ -359,13 +401,7 @@ class QuerySession:
             raise SearchError("workers must be >= 1")
 
         def one(q: int) -> TopKResult:
-            return self.top_k(
-                q,
-                k,
-                exclude=exclude,
-                deadline_seconds=deadline_seconds,
-                on_budget=on_budget,
-            )
+            return self.top_k(q, k, exclude=exclude, overrides=resolved)
 
         effective = min(workers, len(query_list))
         if effective <= 1 or not self.graph.supports_concurrent_reads:
@@ -443,20 +479,14 @@ class QuerySession:
     # Engine dispatch (the logic formerly inlined in api.flos_top_k)
     # ------------------------------------------------------------------
 
-    def _per_call_options(
-        self, deadline_seconds: float | None, on_budget: str | None
-    ) -> FLoSOptions:
-        """Session options with per-call budget overrides applied."""
-        if deadline_seconds is None and on_budget is None:
-            return self.options
-        overrides: dict = {}
-        if deadline_seconds is not None:
-            overrides["deadline_seconds"] = float(deadline_seconds)
-        if on_budget is not None:
-            overrides["on_budget"] = on_budget
-        # replace() rebuilds the frozen dataclass, re-validating via
-        # __post_init__, so a bad override raises ConfigurationError here.
-        return replace(self.options, **overrides)
+    def _per_call_options(self, overrides: QueryOverrides) -> FLoSOptions:
+        """Session options with per-call overrides applied.
+
+        :meth:`QueryOverrides.apply` rebuilds the frozen dataclass,
+        re-validating via ``__post_init__``, so a bad override raises
+        :class:`~repro.errors.ConfigurationError` here.
+        """
+        return overrides.apply(self.options)
 
     def _execute(
         self,

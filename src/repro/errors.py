@@ -119,6 +119,46 @@ class DeadlineExceededError(SearchError):
         self.deadline = deadline
 
 
+class AdmissionRejectedError(SearchError):
+    """The serving dispatcher rejected a request before dispatching it.
+
+    Raised by :class:`repro.serve.ShardedServer` when a request's
+    deadline has already passed, or cannot plausibly be met given the
+    target worker's queue depth and recent service times, and the
+    request's ``on_budget`` policy is ``"raise"``.  Under
+    ``on_budget="degrade"`` the request is dispatched anyway and the
+    anytime machinery returns the best certified answer the remaining
+    budget buys.
+    """
+
+    def __init__(self, deadline: float, estimate: float):
+        if deadline <= 0:
+            msg = (
+                f"request deadline of {deadline:.4f}s has already passed"
+            )
+        else:
+            msg = (
+                f"request deadline of {deadline:.4f}s cannot be met "
+                f"(estimated completion in {estimate:.4f}s)"
+            )
+        super().__init__(
+            msg + "; rejected before dispatch (on_budget='degrade' would "
+            "degrade instead of rejecting)"
+        )
+        self.deadline = deadline
+        self.estimate = estimate
+
+
+class WorkerCrashError(ReproError):
+    """A serving worker process died and the request could not be saved.
+
+    The dispatcher retries a request exactly once on a respawned
+    worker; this error means the retry's worker died too (or a worker
+    failed during startup), so the request is abandoned rather than
+    retried forever.
+    """
+
+
 class IterationBudgetError(SearchError):
     """A search exhausted its outer-iteration budget before terminating.
 

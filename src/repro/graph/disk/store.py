@@ -123,6 +123,15 @@ class DiskGraph(GraphAccess):
     # ------------------------------------------------------------------
 
     @property
+    def path(self) -> Path:
+        """Path of the backing store file.
+
+        The zero-copy serving tier (:mod:`repro.serve.shared`) uses it
+        to re-open the same store in worker processes via mmap.
+        """
+        return self._path
+
+    @property
     def cache_stats(self) -> CacheStats:
         """IO counters of the underlying page cache."""
         return self._cache.stats

@@ -36,23 +36,38 @@ class CSRGraph(GraphAccess):
         weights: np.ndarray,
         *,
         _validated: bool = False,
+        _degrees: np.ndarray | None = None,
+        _max_degree: float | None = None,
     ):
         self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self._indices = np.ascontiguousarray(indices, dtype=np.int64)
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
         if not _validated:
             self._validate()
-        # Weighted degrees are used on every neighbor expansion; precompute.
-        self._degrees = np.add.reduceat(
-            np.append(self._weights, 0.0), self._indptr[:-1]
-        )
-        # reduceat yields garbage for empty rows; fix them up to 0.
-        empty = self._indptr[:-1] == self._indptr[1:]
-        if empty.any():
-            self._degrees[empty] = 0.0
-        self._max_degree = float(self._degrees.max()) if len(self._degrees) else 0.0
+        if _degrees is not None:
+            # Trusted precomputed degrees (shared-memory / mmap attach
+            # via :meth:`from_arrays`): skip the O(m) reduction, which
+            # would page the whole weights region into memory.
+            self._degrees = np.ascontiguousarray(_degrees, dtype=np.float64)
+        else:
+            # Weighted degrees are used on every neighbor expansion;
+            # precompute.
+            self._degrees = np.add.reduceat(
+                np.append(self._weights, 0.0), self._indptr[:-1]
+            )
+            # reduceat yields garbage for empty rows; fix them up to 0.
+            empty = self._indptr[:-1] == self._indptr[1:]
+            if empty.any():
+                self._degrees[empty] = 0.0
+        if _max_degree is not None:
+            self._max_degree = float(_max_degree)
+        else:
+            self._max_degree = (
+                float(self._degrees.max()) if len(self._degrees) else 0.0
+            )
         for arr in (self._indptr, self._indices, self._weights, self._degrees):
-            arr.setflags(write=False)
+            if arr.flags.writeable:
+                arr.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -100,6 +115,43 @@ class CSRGraph(GraphAccess):
         ).tocsr()
         mat.sum_duplicates()
         return cls.from_scipy(mat)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        degrees: np.ndarray | None = None,
+        max_degree: float | None = None,
+        validate: bool = True,
+    ) -> "CSRGraph":
+        """Build directly from CSR arrays, sharing their memory.
+
+        Arrays that already have the canonical dtype and layout
+        (``indptr``/``indices`` int64, ``weights`` float64, C
+        contiguous) are **not copied** — the graph holds views.  This is
+        the attach path of the zero-copy serving tier
+        (:mod:`repro.serve.shared`): worker processes map one published
+        segment (``multiprocessing.shared_memory``) or one ``.flos``
+        file (mmap) and wrap it without duplicating edge data.
+
+        ``degrees`` / ``max_degree``, when given, are trusted as the
+        precomputed weighted degrees — skipping the O(m) reduction that
+        would otherwise page every weight into memory.  ``validate=False``
+        additionally skips the structural O(m) scan; only pass arrays
+        that a validated :class:`CSRGraph` (or the disk writer, which
+        validates on write) produced.
+        """
+        return cls(
+            indptr,
+            indices,
+            weights,
+            _validated=not validate,
+            _degrees=degrees,
+            _max_degree=max_degree,
+        )
 
     @classmethod
     def from_scipy(cls, mat: sp.spmatrix) -> "CSRGraph":

@@ -1,0 +1,111 @@
+"""Worker-process entry point of the sharded serving tier.
+
+Each worker attaches to the published graph (zero-copy, see
+:mod:`repro.serve.shared`), builds its own
+:class:`~repro.core.session.QuerySession` — private LRU cache, private
+metrics — and then loops on its request queue.  Because the worker
+answers through :meth:`QuerySession.serve`, the multi-process path
+executes the exact same code as in-process serving; bitwise-identical
+results are by construction, not by luck.
+
+Wire protocol (all tuples, pickled over multiprocessing queues):
+
+======================  =====================================================
+dispatcher → worker     ``("query", seq, QueryRequest)`` — answer it;
+                        ``("metrics", seq, None)`` — snapshot session
+                        metrics; ``("crash", 0, None)`` — test hook,
+                        die instantly via ``os._exit`` (no cleanup, as
+                        a real crash would); ``None`` — drain and exit.
+worker → dispatcher     ``(worker_id, seq, kind, payload)`` with kind
+                        ``"ready"`` (payload: pid), ``"ok"`` (payload:
+                        TopKResult), ``"error"`` (payload: exception
+                        class name + message), ``"metrics"`` (payload:
+                        metrics dict), or ``"fatal"`` (startup failed).
+======================  =====================================================
+
+Responses travel over a **per-worker pipe**, not a shared queue, and
+that choice is load-bearing for crash recovery: a shared
+``multiprocessing.Queue`` serializes writers through one cross-process
+lock, so a worker killed mid-``put`` leaves the lock held and every
+*other* worker blocks forever.  With one pipe per worker, a killed
+writer can only truncate its own stream — the dispatcher sees EOF,
+respawns it, and the rest of the pool never stalls.
+
+Exceptions cross the boundary as ``(class_name, message)`` pairs, not
+pickled objects: several library exceptions take structured constructor
+arguments and would not survive an unpickle round-trip.  The dispatcher
+rebuilds the closest class from :mod:`repro.errors` by name.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.flos import FLoSOptions
+from repro.core.session import QuerySession
+from repro.serve.shared import SharedGraphDescriptor, attach_shared
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    worker_id: int,
+    descriptor: SharedGraphDescriptor,
+    measure,
+    options: FLoSOptions | None,
+    cache_size: int,
+    slow_log_size: int,
+    requests,
+    responses,
+) -> None:
+    """Run one serving worker until the ``None`` sentinel arrives.
+
+    ``requests`` is this worker's ``SimpleQueue``; ``responses`` is the
+    send end of this worker's private pipe.  Never raises: startup
+    failures are reported as a ``"fatal"`` message (the dispatcher
+    turns them into :class:`~repro.errors.WorkerCrashError`),
+    per-request failures as ``"error"`` responses that fail only the
+    offending request.
+    """
+    try:
+        handle = attach_shared(descriptor)
+        session = QuerySession(
+            handle.graph,
+            measure,
+            options=options,
+            cache_size=cache_size,
+            slow_log_size=slow_log_size,
+        )
+    except BaseException as err:  # report, don't traceback to stderr
+        responses.send(
+            (worker_id, -1, "fatal", (type(err).__name__, str(err)))
+        )
+        return
+    responses.send((worker_id, -1, "ready", os.getpid()))
+
+    try:
+        while True:
+            message = requests.get()
+            if message is None:
+                break
+            kind, seq, payload = message
+            if kind == "crash":
+                # Test hook: die the way SIGKILL would — immediately,
+                # skipping atexit/finally, leaving the request
+                # unanswered so crash recovery has something to do.
+                os._exit(1)
+            if kind == "metrics":
+                responses.send(
+                    (worker_id, seq, "metrics", session.metrics().to_dict())
+                )
+                continue
+            try:
+                result = session.serve(payload)
+            except Exception as err:
+                responses.send(
+                    (worker_id, seq, "error", (type(err).__name__, str(err)))
+                )
+            else:
+                responses.send((worker_id, seq, "ok", result))
+    finally:
+        handle.close()

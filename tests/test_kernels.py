@@ -5,8 +5,8 @@ Three contracts are pinned here:
 * the vectorized ``LocalView`` restoration path produces exactly the
   same visited-subgraph state as the scalar reference path (same local
   ids, same restored transitions, same dummy/boundary/tightening sums);
-* every solver mode of :mod:`repro.core.kernels` returns bounds that
-  sandwich the legacy ``jacobi_solve`` fixed point, and ``flos_top_k``
+* every solver mode of :mod:`repro.core.kernels` returns certified
+  bounds that sandwich the exact proximity values, and ``flos_top_k``
   returns the same certified top-k under every mode — with ``"fused"``
   bit-identical to the legacy ``"jacobi"`` path (same iterate sequence);
 * the ``_AppendOnlyOperator`` snapshot+tail product equals the full
@@ -199,27 +199,34 @@ def connected_graph_query(draw, max_nodes: int = 30):
 class TestSandwichProperty:
     @SETTINGS
     @given(connected_graph_query())
-    def test_bounds_sandwich_legacy_fixed_point(self, case):
-        """Every mode's [lower, upper] contains the tightly-converged
-        legacy jacobi solution (the fixed point both systems share)."""
+    def test_bounds_sandwich_exact_values(self, case):
+        """Every mode's certified [lower, upper] contains the exact
+        proximity, and every mode certifies the same top-k value set as
+        the tightly-converged legacy jacobi run.
+
+        The intervals are *not* compared between modes: two modes may
+        certify after expanding different visited sets, and the
+        better-converged mode's interval can then sit entirely inside
+        the other's bound gap — in particular below the other run's
+        value estimate (the bound midpoint), which is
+        subgraph-dependent and can exceed the true value.
+        """
         graph, q, k = case
+        exact = solve_direct(PHP(0.5), graph, q)
         fixed_point = flos_top_k(
             graph, PHP(0.5), q, k, options=FLoSOptions(solver="jacobi", tau=1e-13)
         )
-        fp = fixed_point.as_dict()
+        want = np.sort(exact[fixed_point.nodes])
         for solver in NEW_SOLVERS:
             result = flos_top_k(
                 graph, PHP(0.5), q, k, options=FLoSOptions(solver=solver)
             )
-            exact = solve_direct(PHP(0.5), graph, q)
             got = np.sort(exact[result.nodes])
-            want = np.sort(exact[fixed_point.nodes])
             np.testing.assert_allclose(got, want, atol=1e-7)
             for i, node in enumerate(result.nodes):
-                node = int(node)
-                if node in fp:
-                    assert result.lower[i] <= fp[node] + 1e-7, solver
-                    assert result.upper[i] >= fp[node] - 1e-7, solver
+                truth = exact[int(node)]
+                assert result.lower[i] <= truth + 1e-7, solver
+                assert result.upper[i] >= truth - 1e-7, solver
 
     @SETTINGS
     @given(connected_graph_query())

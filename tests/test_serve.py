@@ -1,0 +1,465 @@
+"""Multi-process sharded serving tier (``repro.serve``).
+
+Covers the hard guarantees the tier makes:
+
+* zero-copy publication round-trips (shared memory and mmap of the
+  ``.flos`` store) with **no leaked segments** — after a clean shutdown
+  and after a SIGKILLed worker;
+* results bitwise-identical to in-process
+  :meth:`QuerySession.top_k_many` (workers run the same code path);
+* crash recovery: a dead worker is respawned against the still-live
+  segment, in-flight requests retried at most once, nothing lost;
+* admission control: past-deadline requests are rejected *before*
+  dispatch under ``on_budget="raise"``, degrade-admitted otherwise;
+* deterministic sharding by query node.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import QueryOverrides, QueryRequest, QuerySession
+from repro.core.flos import FLoSOptions
+from repro.errors import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    GraphError,
+    NodeNotFoundError,
+    SearchError,
+)
+from repro.graph.base import GraphAccess
+from repro.graph.disk import DiskGraph, write_disk_graph
+from repro.graph.generators import erdos_renyi
+from repro.serve import ShardedServer, attach_shared, open_shared
+from repro.serve.shared import SEGMENT_PREFIX
+
+
+def _segments() -> list[str]:
+    """Names of live shared-memory segments created by repro.serve."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX
+        return []
+    return [f for f in os.listdir(shm_dir) if f.startswith(SEGMENT_PREFIX)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(300, 1200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def baseline(graph):
+    session = QuerySession(graph, "rwr", c=0.5)
+    return session.top_k_many(range(30), k=8)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy publication
+# ----------------------------------------------------------------------
+
+
+class TestSharedGraph:
+    def test_shm_attach_round_trip(self, graph):
+        published = open_shared(graph)
+        try:
+            with attach_shared(published.descriptor) as handle:
+                attached = handle.graph
+                assert attached.num_nodes == graph.num_nodes
+                assert attached.num_edges == graph.num_edges
+                assert attached.max_degree == graph.max_degree
+                np.testing.assert_array_equal(
+                    attached.degrees, graph.degrees
+                )
+                for u in (0, 7, 123):
+                    ids_a, w_a = attached.neighbors(u)
+                    ids_b, w_b = graph.neighbors(u)
+                    np.testing.assert_array_equal(ids_a, ids_b)
+                    np.testing.assert_array_equal(w_a, w_b)
+        finally:
+            published.close()
+
+    def test_shm_attach_is_zero_copy(self, graph):
+        published = open_shared(graph)
+        try:
+            handle = attach_shared(published.descriptor)
+            # The attached arrays are views over the segment buffer, not
+            # copies: their base memory is not owned by numpy.
+            assert not handle.graph._indices.flags.owndata
+            assert not handle.graph._weights.flags.owndata
+            assert not handle.graph._indices.flags.writeable
+            handle.close()
+        finally:
+            published.close()
+
+    def test_clean_shutdown_leaks_no_segments(self, graph):
+        before = set(_segments())
+        published = open_shared(graph)
+        assert len(_segments()) == len(before) + 1
+        handle = attach_shared(published.descriptor)
+        handle.close()
+        published.close()
+        assert set(_segments()) == before
+
+    def test_owner_close_is_idempotent(self, graph):
+        published = open_shared(graph)
+        published.close()
+        published.close()
+        assert published.descriptor.segment not in _segments()
+
+    def test_attach_after_unlink_fails_clearly(self, graph):
+        published = open_shared(graph)
+        published.close()
+        with pytest.raises(GraphError, match="does not exist"):
+            attach_shared(published.descriptor)
+
+    def test_mmap_attach_matches_memory_graph(self, graph, tmp_path):
+        path = tmp_path / "g.flos"
+        write_disk_graph(graph, path)
+        published = open_shared(str(path))
+        assert published.descriptor.kind == "mmap"
+        with attach_shared(published.descriptor) as handle:
+            attached = handle.graph
+            assert attached.num_nodes == graph.num_nodes
+            np.testing.assert_allclose(attached.degrees, graph.degrees)
+            for u in (0, 5, 250):
+                ids_a, w_a = attached.neighbors(u)
+                ids_b, w_b = graph.neighbors(u)
+                np.testing.assert_array_equal(ids_a, ids_b)
+                np.testing.assert_allclose(w_a, w_b)
+        published.close()
+
+    def test_mmap_accepts_diskgraph_instance(self, graph, tmp_path):
+        path = tmp_path / "g.flos"
+        write_disk_graph(graph, path)
+        with DiskGraph(path) as disk:
+            published = open_shared(disk)
+            assert published.descriptor.path == str(path)
+            published.close()
+
+    def test_non_publishable_graph_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero-copy"):
+            open_shared(_OpaqueGraph())
+
+
+# ----------------------------------------------------------------------
+# Serving correctness
+# ----------------------------------------------------------------------
+
+
+class TestShardedServing:
+    def test_bitwise_identical_to_in_process(self, graph, baseline):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            batch = server.top_k_many(range(30), k=8)
+            assert len(batch) == len(baseline)
+            for ours, ref in zip(batch.results, baseline.results):
+                np.testing.assert_array_equal(ours.nodes, ref.nodes)
+                np.testing.assert_array_equal(ours.values, ref.values)
+                np.testing.assert_array_equal(ours.lower, ref.lower)
+                np.testing.assert_array_equal(ours.upper, ref.upper)
+                assert ours.exact and ref.exact
+        assert SEGMENT_PREFIX not in "".join(_segments())
+
+    def test_mmap_backed_serving(self, graph, baseline, tmp_path):
+        path = tmp_path / "g.flos"
+        write_disk_graph(graph, path)
+        with ShardedServer.from_graph(
+            str(path), "rwr", c=0.5, workers=2
+        ) as server:
+            batch = server.top_k_many(range(30), k=8)
+            for ours, ref in zip(batch.results, baseline.results):
+                np.testing.assert_array_equal(ours.nodes, ref.nodes)
+                np.testing.assert_array_equal(ours.values, ref.values)
+
+    def test_single_request_and_request_object(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            via_top_k = server.top_k(4, 6)
+            via_serve = server.serve(QueryRequest(query=4, k=6))
+            np.testing.assert_array_equal(via_top_k.nodes, via_serve.nodes)
+
+    def test_worker_error_propagates(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            with pytest.raises(SearchError, match="NodeNotFoundError"):
+                server.top_k(graph.num_nodes + 5, 5)
+            # The pool survives a failed request.
+            assert server.top_k(0, 5).exact
+
+    def test_sharding_is_deterministic_and_spread(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=4
+        ) as server:
+            first = [server.shard_of(q) for q in range(64)]
+            second = [server.shard_of(q) for q in range(64)]
+            assert first == second
+            assert set(first) == {0, 1, 2, 3}
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=4
+        ) as other:
+            assert [other.shard_of(q) for q in range(64)] == first
+
+    def test_cache_affinity(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            server.top_k_many(range(20), k=5)
+            server.top_k_many(range(20), k=5)
+            metrics = server.metrics()
+            # Second round must be all cache hits: the stable hash sent
+            # each repeat to the worker that cached it.
+            assert metrics.cache_hits >= 20
+            assert metrics.requests_completed == 40
+
+    def test_metrics_aggregation(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            server.top_k_many(range(12), k=5)
+            metrics = server.metrics()
+            assert metrics.workers == 2
+            assert metrics.requests_completed == 12
+            assert metrics.qps > 0
+            assert len(metrics.per_worker) == 2
+            served = sum(w["queries_served"] for w in metrics.per_worker)
+            assert served == 12
+            payload = metrics.to_dict()
+            assert payload["requests_dispatched"] == 12
+            import json
+
+            json.dumps(payload)  # JSON-serializable end to end
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_killed_worker_respawns_and_batch_completes(
+        self, graph, baseline
+    ):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            victim = server.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            batch = server.top_k_many(range(30), k=8)
+            for ours, ref in zip(batch.results, baseline.results):
+                np.testing.assert_array_equal(ours.nodes, ref.nodes)
+            metrics = server.metrics()
+            assert metrics.respawns >= 1
+            assert victim not in server.worker_pids()
+        assert SEGMENT_PREFIX not in "".join(_segments())
+
+    def test_crash_mid_flight_retries_in_flight_requests(
+        self, graph, baseline
+    ):
+        import threading
+
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            # Deterministic mid-flight crash: freeze worker 0 so the
+            # batch's requests pile up in its queue, then SIGKILL it
+            # while they are in flight — they must be retried on the
+            # respawned worker, and none may be lost.
+            victim = server.worker_pids()[0]
+            os.kill(victim, signal.SIGSTOP)
+            killer = threading.Timer(
+                0.3, lambda: os.kill(victim, signal.SIGKILL)
+            )
+            killer.start()
+            try:
+                batch = server.top_k_many(range(30), k=8)
+            finally:
+                killer.cancel()
+            for ours, ref in zip(batch.results, baseline.results):
+                np.testing.assert_array_equal(ours.nodes, ref.nodes)
+            metrics = server.metrics()
+            assert metrics.respawns >= 1
+            assert metrics.retried >= 1
+            assert metrics.requests_completed == 30
+
+    def test_crash_control_hook_respawns(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            # The "crash" control message makes the worker os._exit(1)
+            # the moment it dequeues it, exactly like a hard crash.
+            server._workers[0].queue.put(("crash", 0, None))
+            batch = server.top_k_many(range(30), k=8)
+            assert len(batch) == 30
+            assert server.metrics().respawns >= 1
+
+    def test_no_leaked_segments_after_worker_kill(self, graph):
+        before = set(_segments())
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            os.kill(server.worker_pids()[1], signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while (
+                server._workers[1].process.is_alive()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            server.top_k(0, 5)  # forces the respawn path
+        assert set(_segments()) == before
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_past_deadline_rejected_before_dispatch(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            with pytest.raises(AdmissionRejectedError, match="already"):
+                server.top_k(
+                    3,
+                    5,
+                    overrides=QueryOverrides(
+                        deadline_seconds=-0.5, on_budget="raise"
+                    ),
+                )
+            metrics = server.metrics()
+            assert metrics.rejected == 1
+            assert metrics.requests_dispatched == 0
+            # No worker burned a cycle on it.
+            assert all(
+                w["queries_served"] == 0 for w in metrics.per_worker
+            )
+
+    def test_past_deadline_degrades_instead_when_asked(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            result = server.top_k(
+                3,
+                5,
+                overrides=QueryOverrides(
+                    deadline_seconds=-0.5, on_budget="degrade"
+                ),
+            )
+            # Dispatched with a floored deadline: the anytime machinery
+            # returns certified bounds instead of nothing.
+            assert result.stats.termination in ("deadline", "exact")
+            np.testing.assert_array_less(
+                result.lower, result.upper + 1e-12
+            )
+            metrics = server.metrics()
+            assert metrics.degraded_admissions == 1
+            assert metrics.requests_dispatched == 1
+
+    def test_infeasible_deadline_uses_service_time_estimate(self, graph):
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=1, cache_size=0
+        ) as server:
+            server.top_k_many(range(10), k=8)  # establish an EWMA
+            state = server._workers[0]
+            assert state.ewma_seconds is not None
+            # A deadline far below the observed service time, with
+            # pretend queue depth, must be rejected up front.
+            state.inflight.update(range(-100, -90))  # fake depth
+            tiny = state.ewma_seconds / 1e6
+            with pytest.raises(AdmissionRejectedError, match="cannot"):
+                server.top_k(
+                    3,
+                    5,
+                    overrides=QueryOverrides(
+                        deadline_seconds=tiny, on_budget="raise"
+                    ),
+                )
+            state.inflight.clear()
+
+    def test_session_default_policy_applies(self, graph):
+        # No per-request on_budget: the session-level options decide.
+        with ShardedServer.from_graph(
+            graph,
+            "rwr",
+            c=0.5,
+            workers=1,
+            options=FLoSOptions(on_budget="degrade"),
+        ) as server:
+            result = server.top_k(
+                3, 5, overrides=QueryOverrides(deadline_seconds=-1.0)
+            )
+            assert server.metrics().degraded_admissions == 1
+            assert result.k == 5
+
+
+# ----------------------------------------------------------------------
+# Backend gating / fallback
+# ----------------------------------------------------------------------
+
+
+class _OpaqueGraph(GraphAccess):
+    """A structurally valid backend with no zero-copy publication path."""
+
+    def __init__(self):
+        self._inner = erdos_renyi(50, 150, seed=2)
+
+    @property
+    def num_nodes(self):
+        return self._inner.num_nodes
+
+    @property
+    def num_edges(self):
+        return self._inner.num_edges
+
+    @property
+    def max_degree(self):
+        return self._inner.max_degree
+
+    def neighbors(self, u):
+        return self._inner.neighbors(u)
+
+    def degree(self, u):
+        return self._inner.degree(u)
+
+
+class TestBackendGating:
+    def test_multi_worker_non_csr_backend_raises(self):
+        with pytest.raises(
+            ConfigurationError, match="supports_concurrent_reads"
+        ):
+            ShardedServer.from_graph(_OpaqueGraph(), "rwr", c=0.5, workers=2)
+
+    def test_single_worker_falls_back_in_process(self):
+        opaque = _OpaqueGraph()
+        with ShardedServer.from_graph(
+            opaque, "rwr", c=0.5, workers=1
+        ) as server:
+            reference = QuerySession(opaque._inner, "rwr", c=0.5).top_k(0, 5)
+            result = server.top_k(0, 5)
+            np.testing.assert_array_equal(result.nodes, reference.nodes)
+            metrics = server.metrics()
+            assert metrics.workers == 1
+            assert metrics.per_worker[0]["queries_served"] == 1
+            # Admission control still applies in the fallback.
+            with pytest.raises(AdmissionRejectedError):
+                server.top_k(
+                    0,
+                    5,
+                    overrides=QueryOverrides(
+                        deadline_seconds=-1.0, on_budget="raise"
+                    ),
+                )
+
+    def test_closed_server_refuses_requests(self, graph):
+        server = ShardedServer.from_graph(graph, "rwr", c=0.5, workers=1)
+        server.close()
+        with pytest.raises(SearchError, match="closed"):
+            server.top_k(0, 5)
