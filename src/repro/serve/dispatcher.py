@@ -33,11 +33,13 @@ Requests use the same :class:`~repro.core.api.QueryRequest` /
 answer through :meth:`QuerySession.serve`, so results are
 bitwise-identical to in-process serving.
 
-Graphs that cannot cross a process boundary (anything that is not a
-:class:`~repro.graph.memory.CSRGraph`, a
-:class:`~repro.graph.disk.store.DiskGraph`, or a ``.flos`` path) fall
-back to a single in-process session when ``workers=1`` and raise
-:class:`~repro.errors.ConfigurationError` otherwise.
+:class:`~repro.graph.base.GraphAccess` backends that cannot cross a
+process boundary (anything that is not a
+:class:`~repro.graph.memory.CSRGraph` or a
+:class:`~repro.graph.disk.store.DiskGraph`) fall back to a single
+in-process session when ``workers=1`` and raise
+:class:`~repro.errors.ConfigurationError` otherwise; a string path
+that fails publication (not a ``.flos`` store) always raises.
 """
 
 from __future__ import annotations
@@ -79,6 +81,15 @@ _DEGRADE_DEADLINE_FLOOR = 1e-4
 
 #: EWMA smoothing for per-worker service time (higher = stickier).
 _EWMA_ALPHA = 0.8
+
+#: Per-worker in-flight cap enforced at submit time.  Request queues
+#: and response pipes are both ~64KiB OS pipes; with unbounded
+#: submit-then-collect a large batch fills the response pipe (worker
+#: blocks in ``send``), the worker stops reading its request queue,
+#: that pipe fills too, and the dispatcher deadlocks in ``put``.
+#: Bounding in-flight requests — and draining responses while the cap
+#: is hit — keeps both pipes comfortably under capacity.
+_MAX_WORKER_INFLIGHT = 32
 
 
 def _stable_shard(query: int, shards: int) -> int:
@@ -190,6 +201,7 @@ class ShardedServer:
         self._seq = 0
         self._inflight: dict[int, tuple[QueryRequest, int, float]] = {}
         self._completed: dict[int, tuple[str, object]] = {}
+        self._abandoned: set[int] = set()
         self._retried_seqs: set[int] = set()
         self._dispatched = 0
         self._completed_count = 0
@@ -208,6 +220,13 @@ class ShardedServer:
         try:
             self._shared = open_shared(graph)
         except ConfigurationError as err:
+            if not isinstance(graph, GraphAccess):
+                # A string/Path input that fails publication is a bad
+                # path or spelling, not a non-shareable backend: there
+                # is nothing to serve in-process, so surface the clear
+                # configuration message instead of letting the raw
+                # string reach QuerySession.
+                raise
             if workers > 1:
                 raise ConfigurationError(
                     f"cannot shard over {workers} processes: {err}  "
@@ -302,11 +321,14 @@ class ShardedServer:
     ) -> list[TopKResult]:
         """Answer a batch of requests, results in request order.
 
-        All admissible requests are dispatched up front (so workers run
-        in parallel), then results are collected.  A request that fails
-        admission raises :class:`~repro.errors.AdmissionRejectedError`
-        immediately; already-dispatched requests of the same batch
-        still complete in the background and are discarded.
+        Admissible requests are dispatched eagerly (so workers run in
+        parallel) while responses are drained concurrently — submission
+        never outruns collection by more than the per-worker in-flight
+        cap, so arbitrarily large batches cannot deadlock the request/
+        response pipes.  A request that fails admission raises
+        :class:`~repro.errors.AdmissionRejectedError` immediately;
+        already-dispatched requests of the same batch still complete in
+        the background and their results are discarded on arrival.
         """
         self._check_open()
         request_list = list(requests)
@@ -320,7 +342,13 @@ class ShardedServer:
                     self._serve_local(self._maybe_floor_deadline(request))
                 )
             return out
-        seqs = [self._submit(request) for request in request_list]
+        seqs: list[int] = []
+        try:
+            for request in request_list:
+                seqs.append(self._submit(request))
+        except BaseException:
+            self._abandon(seqs)
+            raise
         return self._wait(seqs)
 
     def top_k_many(
@@ -547,6 +575,13 @@ class ShardedServer:
             # new request (and any stranded in-flight ones) have a
             # living consumer.
             self._respawn(state)
+        # Backpressure: drain responses until the target worker is
+        # below its in-flight cap, so neither its request queue nor its
+        # response pipe can fill while the dispatcher is still
+        # submitting (see _MAX_WORKER_INFLIGHT).
+        while len(state.inflight) >= _MAX_WORKER_INFLIGHT:
+            if not self._poll(0.05):
+                self._reap_dead_workers()
         seq = self._seq
         self._seq += 1
         now = time.monotonic()
@@ -585,6 +620,20 @@ class ShardedServer:
             received = True
             self._handle_response(message)
         return received
+
+    def _abandon(self, seqs: list[int]) -> None:
+        """Forget a batch whose submission aborted mid-way.
+
+        Results that already landed are dropped now; still-in-flight
+        requests are marked so :meth:`_handle_response` (or the
+        give-up branch of :meth:`_respawn`) discards their payloads on
+        arrival instead of parking them in ``_completed`` forever.
+        """
+        for seq in seqs:
+            if seq in self._completed:
+                self._completed.pop(seq)
+            elif seq in self._inflight:
+                self._abandoned.add(seq)
 
     def _wait(self, seqs: list[int]) -> list[TopKResult]:
         pending = set(seqs) - self._completed.keys()
@@ -631,6 +680,12 @@ class ShardedServer:
                 else _EWMA_ALPHA * state.ewma_seconds
                 + (1.0 - _EWMA_ALPHA) * latency
             )
+        self._retried_seqs.discard(seq)
+        if seq in self._abandoned:
+            # Stragglers of an aborted batch: nobody will collect them.
+            self._abandoned.discard(seq)
+            return
+        if kind == "ok":
             self._completed[seq] = ("ok", payload)
         else:
             name, text = payload
@@ -729,9 +784,13 @@ class ShardedServer:
         for seq in stranded:
             request, _owner, submitted = self._inflight[seq]
             if seq in self._retried_seqs:
-                # Second crash holding the same request: abandon it
+                # Second crash holding the same request: give up
                 # rather than retrying forever.
                 self._inflight.pop(seq)
+                self._retried_seqs.discard(seq)
+                if seq in self._abandoned:
+                    self._abandoned.discard(seq)
+                    continue
                 self._completed[seq] = (
                     "error",
                     WorkerCrashError(

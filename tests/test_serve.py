@@ -219,6 +219,24 @@ class TestShardedServing:
             assert metrics.cache_hits >= 20
             assert metrics.requests_completed == 40
 
+    def test_large_batch_does_not_deadlock_the_pipes(self, graph, baseline):
+        # Regression: submit-then-collect with no backpressure fills the
+        # ~64KiB response pipe (worker blocks in send), the worker stops
+        # draining its request queue, and the dispatcher deadlocks in
+        # put.  A batch far beyond pipe capacity must complete.
+        queries = list(range(30)) * 70  # 2100 requests, heavy repeats
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            batch = server.top_k_many(queries, k=8)
+            assert len(batch) == len(queries)
+            for q, ours in zip(queries, batch.results):
+                np.testing.assert_array_equal(
+                    ours.nodes, baseline.results[q].nodes
+                )
+            assert server._inflight == {}
+            assert server._completed == {}
+
     def test_metrics_aggregation(self, graph):
         with ShardedServer.from_graph(
             graph, "rwr", c=0.5, workers=2
@@ -288,6 +306,9 @@ class TestCrashRecovery:
             assert metrics.respawns >= 1
             assert metrics.retried >= 1
             assert metrics.requests_completed == 30
+            # Retry bookkeeping is dropped once a request resolves —
+            # it must not grow for the lifetime of the server.
+            assert server._retried_seqs == set()
 
     def test_crash_control_hook_respawns(self, graph):
         with ShardedServer.from_graph(
@@ -362,6 +383,37 @@ class TestAdmissionControl:
             metrics = server.metrics()
             assert metrics.degraded_admissions == 1
             assert metrics.requests_dispatched == 1
+
+    def test_mid_batch_rejection_discards_orphaned_results(self, graph):
+        # Regression: a batch aborted by a mid-batch admission failure
+        # must not park the already-dispatched requests' results in the
+        # dispatcher's completed map forever (unbounded growth in a
+        # long-lived server).
+        with ShardedServer.from_graph(
+            graph, "rwr", c=0.5, workers=2
+        ) as server:
+            requests = [QueryRequest(query=q, k=5) for q in range(10)]
+            requests.append(
+                QueryRequest(
+                    query=10,
+                    k=5,
+                    overrides=QueryOverrides(
+                        deadline_seconds=-0.5, on_budget="raise"
+                    ),
+                )
+            )
+            with pytest.raises(AdmissionRejectedError):
+                server.serve_requests(requests)
+            # Drain the stragglers the workers still answer.
+            deadline = time.monotonic() + 10.0
+            while server._inflight and time.monotonic() < deadline:
+                server._poll(0.1)
+            assert server._inflight == {}
+            assert server._completed == {}
+            assert server._abandoned == set()
+            # The server still serves normally afterwards.
+            assert server.top_k(0, 5).exact
+            assert server._completed == {}
 
     def test_infeasible_deadline_uses_service_time_estimate(self, graph):
         with ShardedServer.from_graph(
@@ -457,6 +509,16 @@ class TestBackendGating:
                         deadline_seconds=-1.0, on_budget="raise"
                     ),
                 )
+
+    def test_bad_path_does_not_fall_back_in_process(self):
+        # A string path that fails publication is a configuration
+        # mistake, not a non-shareable backend: even at workers=1 it
+        # must surface the clear message instead of handing the raw
+        # string to QuerySession.
+        with pytest.raises(ConfigurationError, match=".flos"):
+            ShardedServer.from_graph(
+                "edges.txt", "rwr", c=0.5, workers=1
+            )
 
     def test_closed_server_refuses_requests(self, graph):
         server = ShardedServer.from_graph(graph, "rwr", c=0.5, workers=1)
