@@ -6,11 +6,16 @@ FLoS needs none, so queries issued right after updates are answered
 against the fresh topology at full exactness.
 
 This example simulates a social feed where friendships appear over
-time:
+time, served by ONE persistent :class:`repro.core.QuerySession` instead
+of a cold engine run per edit batch:
 
-1. wraps a base graph in :class:`repro.graph.dynamic.DynamicGraph`;
-2. interleaves edge insertions with FLoS queries — each answer reflects
-   every update so far;
+1. wraps a base graph in :class:`repro.graph.dynamic.DynamicGraph` —
+   every mutation lands in its append-only update log;
+2. warms the session's result cache, applies an edge batch through
+   :func:`repro.graph.apply_edge_updates`, and queries again: cached
+   answers whose visited ball the batch never touched survive as hits,
+   only the touched neighborhoods recompute (some warm-started from
+   their previous bounds);
 3. contrasts that with K-dash, whose index is stale the moment an edge
    changes and must be rebuilt (we measure the rebuild cost).
 
@@ -19,10 +24,12 @@ Run:  python examples/evolving_graph.py
 
 import time
 
-from repro import RWR, flos_top_k
+from repro import RWR
 from repro.baselines import KDashIndex
+from repro.core.session import QuerySession
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.generators import community_graph
+from repro.graph.updates import EdgeUpdate, apply_edge_updates
 
 
 def main():
@@ -32,26 +39,33 @@ def main():
     )
     graph = DynamicGraph(base)
     user, k = 4040, 5
-    measure = RWR(c=0.5)
+    users = [user, 120, 1500, 2750, 5620, 7001]
+    session = QuerySession(graph, RWR(c=0.5))
 
     print(f"social graph: {graph.num_nodes} users, {graph.num_edges} ties")
-    before = flos_top_k(graph, measure, user, k)
+    before = session.top_k(user, k)
+    for other in users[1:]:  # warm the cache for the rest of the feed
+        session.top_k(other, k)
     print(f"\nsuggested connections for user #{user}: "
           f"{[int(n) for n in before.nodes]}")
 
-    # The user makes three new friends, one of them far away.
+    # The user makes three new friends, one of them far away.  One
+    # batch through the update log: the graph version advances and the
+    # session learns exactly which cached answers the batch touched.
     new_friends = [int(before.nodes[0]), 77, 6003]
-    for friend in new_friends:
-        if not graph.has_edge(user, friend):
-            graph.add_edge(user, friend, weight=3.0)
-    print(f"user #{user} connects with {new_friends}")
+    batch = [
+        EdgeUpdate(user, friend, "add", weight=3.0)
+        for friend in new_friends
+        if not graph.has_edge(user, friend)
+    ]
+    apply_edge_updates(graph, batch)
+    print(f"user #{user} connects with {new_friends} "
+          f"(graph version {graph.version})")
 
     # Query again immediately: fresh topology, still certified exact,
     # already-connected users excluded like a real recommender would.
     t0 = time.perf_counter()
-    after = flos_top_k(
-        graph, measure, user, k, exclude=set(new_friends)
-    )
+    after = session.top_k(user, k, exclude=set(new_friends))
     ms = (time.perf_counter() - t0) * 1e3
     print(
         f"updated suggestions ({ms:.0f} ms, zero re-preprocessing): "
@@ -60,9 +74,21 @@ def main():
     moved = set(map(int, after.nodes)) - set(map(int, before.nodes))
     print(f"  {len(moved)} suggestions changed because of the new ties")
 
+    # The rest of the feed re-renders too — but the batch only touched
+    # user #4040's neighborhood, so everyone else's cached answer is
+    # still provably valid and served as a hit, no recomputation.
+    for other in users[1:]:
+        session.top_k(other, k)
+    m = session.metrics()
+    print(
+        f"feed re-render after the update: {m.cache_hits} cache hits, "
+        f"{m.cache_invalidations} invalidated, {m.warm_starts} "
+        f"warm-started, of {m.queries_served} queries total"
+    )
+
     # The precompute-based alternative: rebuild the whole index.
     t0 = time.perf_counter()
-    KDashIndex(graph.compact(), measure)
+    KDashIndex(graph.compact(), RWR(c=0.5))
     rebuild_s = time.perf_counter() - t0
     print(
         f"\nfor comparison, rebuilding a K-dash index after the same "

@@ -225,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=64 * 1024 * 1024,
         help="page-cache bytes for .flos stores",
     )
+    serve.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        help="edge updates applied between query rounds (> 0 switches to "
+        "the evolving-graph benchmark: localized invalidation vs. a "
+        "flush-everything baseline, every served result checked "
+        "against a cold-start oracle; implies in-process serving)",
+    )
     # argparse namespace defaults set by a parent parser win over a
     # sub-subparser's, so ``serve`` registers under a distinct dest and
     # ``cmd_bench`` dispatches on it.
@@ -376,6 +385,8 @@ def cmd_bench(args) -> int:
 
 
 def cmd_bench_serve(args) -> int:
+    if getattr(args, "churn", 0) > 0:
+        return _bench_serve_churn(args)
     if getattr(args, "mode", "thread") == "process":
         return _bench_serve_process(args)
     return _bench_serve_thread(args)
@@ -482,6 +493,298 @@ def _bench_serve_process(args) -> int:
         },
     )
     return 0
+
+
+def _churn_schedule(base: CSRGraph, rounds: int, churn: int, seed: int):
+    """Pre-generate a valid edge-update schedule (~80% add / 20% remove).
+
+    The schedule is simulated on a scratch overlay so every remove names
+    an edge that exists at its point in the sequence; both policies (and
+    the oracle mirror) then replay the *same* batches, so any divergence
+    between them is a serving bug, not workload noise.
+    """
+    import numpy as np
+
+    from repro.graph.dynamic import DynamicGraph
+    from repro.graph.updates import EdgeUpdate, apply_edge_updates
+
+    if base.num_nodes < 2:
+        raise ReproError("--churn needs a graph with at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    sim = DynamicGraph(base)
+    n = base.num_nodes
+    batches: list[list[EdgeUpdate]] = []
+    for _ in range(rounds):
+        batch: list[EdgeUpdate] = []
+        for _ in range(churn):
+            u = int(rng.integers(n))
+            update = None
+            if rng.random() < 0.2:
+                ids, _ = sim.neighbors(u)
+                if len(ids):
+                    v = int(ids[int(rng.integers(len(ids)))])
+                    update = EdgeUpdate(u, v, "remove")
+            if update is None:
+                v = int(rng.integers(n))
+                while v == u:
+                    v = int(rng.integers(n))
+                update = EdgeUpdate(
+                    u, v, "add", weight=float(rng.uniform(0.5, 1.5))
+                )
+            apply_edge_updates(sim, [update])
+            batch.append(update)
+        batches.append(batch)
+    return batches
+
+
+def _oracle_mismatch(
+    result, oracle, *, warm: bool = False, atol: float = 1e-8
+) -> str | None:
+    """Why ``result`` disagrees with the cold-start ``oracle`` (or None).
+
+    Exact ties at the rank-k boundary admit more than one correct top-k
+    set (the fuzz harness documents the same caveat), so the check is
+    tie-aware rather than naively bitwise.  Cold results replay the
+    oracle's trajectory, so their top-k *value multiset* must match up
+    to float tolerance.  Warm-started results converge along a
+    *different* trajectory — point estimates legitimately differ by up
+    to the solver's τ truncation — so for them the certified intervals
+    carry the check instead: both runs bracket the same true proximity,
+    hence each shared node's two ``[lower, upper]`` intervals must
+    intersect.  Any node outside the oracle set must tie the rank-k
+    boundary (interval overlap with the oracle's k-th entry).
+    """
+    import numpy as np
+
+    if len(result.nodes) != len(oracle.nodes):
+        return (
+            f"returned {len(result.nodes)} nodes, oracle returned "
+            f"{len(oracle.nodes)}"
+        )
+    if len(oracle.nodes) == 0:
+        return None
+    if not warm:
+        served_values = np.sort(np.asarray(result.values, dtype=np.float64))
+        oracle_values = np.sort(np.asarray(oracle.values, dtype=np.float64))
+        if not np.allclose(served_values, oracle_values, rtol=1e-6, atol=atol):
+            return "top-k value multiset diverges from the cold oracle"
+    truth = {
+        int(n): (float(v), float(lo), float(hi))
+        for n, v, lo, hi in zip(
+            oracle.nodes, oracle.values, oracle.lower, oracle.upper
+        )
+    }
+    boundary_lo = float(oracle.lower[-1])
+    boundary_hi = float(oracle.upper[-1])
+    for node, value, lo, hi in zip(
+        result.nodes, result.values, result.lower, result.upper
+    ):
+        node = int(node)
+        if node in truth:
+            t_value, t_lo, t_hi = truth[node]
+            if max(lo, t_lo) > min(hi, t_hi) + atol:
+                return (
+                    f"node {node}: certified [{lo:.6g}, {hi:.6g}] disjoint "
+                    f"from oracle's [{t_lo:.6g}, {t_hi:.6g}]"
+                )
+            if not warm and not (lo - atol <= t_value <= hi + atol):
+                return (
+                    f"oracle value {t_value:.6g} for node {node} outside "
+                    f"certified [{lo:.6g}, {hi:.6g}]"
+                )
+        elif max(lo, boundary_lo) > min(hi, boundary_hi) + atol:
+            return (
+                f"node {node} absent from the oracle top-k and not a "
+                f"rank-k boundary tie"
+            )
+    return None
+
+
+def _bench_serve_churn(args) -> int:
+    """Evolving-graph benchmark: localized invalidation vs. full flush.
+
+    Replays one pre-generated update schedule against two policies over
+    the same base graph — a session with update-log-driven localized
+    invalidation (warm starts audited with ``audit="check"``) and a
+    baseline that flushes its whole cache after every batch — and checks
+    **every** served result of both policies against a cold-start oracle
+    on a compacted snapshot.  Exit 1 on any oracle mismatch, any audit
+    violation (raised by the engine), or if localized invalidation fails
+    to *strictly* beat the flush baseline's hit rate.
+    """
+    from repro.bench.tables import format_table
+    from repro.bench.workload import sample_queries
+    from repro.graph.dynamic import DynamicGraph
+    from repro.graph.updates import apply_edge_updates
+
+    if args.input.suffix.lower() == ".flos":
+        raise ReproError(
+            "--churn needs an in-memory graph (.txt/.edges/.npz): the "
+            "update overlay wraps a frozen CSR base"
+        )
+    measure, _options, overrides = _bench_serve_options(args)
+    # Warm-started re-queries must prove their seeded bounds are sound:
+    # audit="check" raises on any invariant violation, on both policies
+    # so the latency comparison stays apples-to-apples.
+    options = FLoSOptions(
+        tau=args.tau, tie_epsilon=args.tie_epsilon, audit="check"
+    )
+    base = read_graph_memory(args.input)
+    queries = sample_queries(base, args.queries, seed=args.seed)
+    rounds = max(1, args.rounds)
+    batches = _churn_schedule(base, rounds, args.churn, args.seed)
+
+    graph_localized = DynamicGraph(base)
+    graph_flush = DynamicGraph(base)
+    oracle_mirror = DynamicGraph(base)  # private log; compacted per round
+    session_localized = QuerySession(
+        graph_localized, measure, options=options, cache_size=args.cache_size
+    )
+    session_flush = QuerySession(
+        graph_flush, measure, options=options, cache_size=args.cache_size
+    )
+
+    mismatches: list[str] = []
+    results_checked = 0
+    warm_results_checked = 0
+    updates_total = 0
+    for round_no in range(rounds + 1):
+        if round_no > 0:
+            batch = batches[round_no - 1]
+            apply_edge_updates(graph_localized, batch)
+            apply_edge_updates(graph_flush, batch)
+            apply_edge_updates(oracle_mirror, batch)
+            session_flush.clear_cache()  # the baseline policy
+            updates_total += len(batch)
+        oracle_graph = oracle_mirror.compact() if round_no > 0 else base
+        round_started = time.perf_counter()
+        for query in queries:
+            result_localized = session_localized.top_k(
+                query, args.k, overrides=overrides
+            )
+            result_flush = session_flush.top_k(
+                query, args.k, overrides=overrides
+            )
+            oracle = flos_top_k(
+                oracle_graph, measure, query, args.k,
+                options=options, overrides=overrides,
+            )
+            results_checked += 2
+            if result_localized.stats.warm_started:
+                warm_results_checked += 1
+            for label, result in (
+                ("localized", result_localized),
+                ("flush", result_flush),
+            ):
+                problem = _oracle_mismatch(
+                    result, oracle, warm=result.stats.warm_started
+                )
+                if problem is not None:
+                    mismatches.append(
+                        f"round {round_no} query {query} [{label}]: {problem}"
+                    )
+        elapsed = time.perf_counter() - round_started
+        print(
+            f"round {round_no}: {len(queries)} queries x 2 policies "
+            f"+ oracle in {elapsed * 1e3:.1f} ms"
+            + (f" ({len(batches[round_no - 1])} updates)" if round_no else "")
+        )
+
+    d_localized = session_localized.metrics().to_dict()
+    d_flush = session_flush.metrics().to_dict()
+    hit_rate_localized = d_localized["cache_hit_rate"]
+    hit_rate_flush = d_flush["cache_hit_rate"]
+
+    rows = [
+        ["updates applied", updates_total],
+        ["results oracle-checked", results_checked],
+        ["warm-started re-queries", d_localized["warm_starts"]],
+        ["localized: hit rate",
+         f"{hit_rate_localized:.1%} "
+         f"({d_localized['cache_hits']}/{d_localized['queries_served']})"],
+        ["localized: invalidations", d_localized["cache_invalidations"]],
+        ["localized: p50 / p95",
+         f"{d_localized['p50_wall_seconds'] * 1e3:.3f} / "
+         f"{d_localized['p95_wall_seconds'] * 1e3:.3f} ms"],
+        ["flush: hit rate",
+         f"{hit_rate_flush:.1%} "
+         f"({d_flush['cache_hits']}/{d_flush['queries_served']})"],
+        ["flush: p50 / p95",
+         f"{d_flush['p50_wall_seconds'] * 1e3:.3f} / "
+         f"{d_flush['p95_wall_seconds'] * 1e3:.3f} ms"],
+        ["oracle mismatches", len(mismatches)],
+    ]
+    print()
+    print(
+        format_table(
+            f"churn serving — {measure.name}({measure.params()}), k={args.k}, "
+            f"{args.churn} updates/round, {rounds} rounds",
+            ["metric", "value"],
+            rows,
+        )
+    )
+
+    _write_bench_output(
+        args,
+        {
+            "mode": "churn",
+            "graph": str(args.input),
+            "nodes": base.num_nodes,
+            "edges": base.num_edges,
+            "measure": measure.name,
+            "k": args.k,
+            "queries": len(queries),
+            "rounds": rounds,
+            "churn": args.churn,
+            "updates_applied": updates_total,
+            "localized": {
+                "cache_hit_rate": hit_rate_localized,
+                "cache_hits": d_localized["cache_hits"],
+                "cache_misses": d_localized["cache_misses"],
+                "cache_invalidations": d_localized["cache_invalidations"],
+                "warm_starts": d_localized["warm_starts"],
+                "p50_wall_seconds": d_localized["p50_wall_seconds"],
+                "p95_wall_seconds": d_localized["p95_wall_seconds"],
+            },
+            "flush": {
+                "cache_hit_rate": hit_rate_flush,
+                "cache_hits": d_flush["cache_hits"],
+                "cache_misses": d_flush["cache_misses"],
+                "p50_wall_seconds": d_flush["p50_wall_seconds"],
+                "p95_wall_seconds": d_flush["p95_wall_seconds"],
+            },
+            "oracle": {
+                "results_checked": results_checked,
+                "warm_results_checked": warm_results_checked,
+                "mismatches": len(mismatches),
+            },
+            "hit_rate_advantage": hit_rate_localized - hit_rate_flush,
+        },
+    )
+
+    status = 0
+    if mismatches:
+        print(
+            f"{len(mismatches)} served result(s) disagree with the "
+            "cold-start oracle:", file=sys.stderr,
+        )
+        for line in mismatches[:10]:
+            print(f"  {line}", file=sys.stderr)
+        status = 1
+    if hit_rate_localized <= hit_rate_flush:
+        print(
+            f"localized invalidation hit rate {hit_rate_localized:.1%} does "
+            f"not strictly beat the flush baseline {hit_rate_flush:.1%}",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"OK: all {results_checked} served results match the cold "
+            f"oracle ({warm_results_checked} warm-started); hit rate "
+            f"{hit_rate_localized:.1%} vs flush {hit_rate_flush:.1%}"
+        )
+    return status
 
 
 def _bench_serve_thread(args) -> int:

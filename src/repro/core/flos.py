@@ -202,6 +202,47 @@ class FLoSOptions:
         )
 
 
+@dataclass(frozen=True)
+class WarmStart:
+    """Seed for re-entering an engine from a prior result's state.
+
+    ``nodes`` holds the prior visited set as *global* ids in its local-id
+    order (``nodes[0]`` is the query); ``lower`` holds the prior
+    engine-space lower bounds aligned with ``nodes`` (PHP-space for
+    :class:`PHPSpaceEngine`, hitting-time space for
+    :class:`~repro.core.flos_tht.THTEngine`).
+
+    Soundness condition (enforced by the serving layer, see
+    ``docs/serving.md``): every edge event since ``lower`` was computed
+    must be an **insertion whose endpoints both lie outside ``nodes``**.
+    Then the restricted transition system ``T_S`` over the seeded set is
+    bit-identical to the one the prior bounds converged on, Theorem 3
+    keeps the restricted-system solution a valid lower bound on the new
+    graph, and the engines' monotone refreshes can only tighten the seed.
+    Upper bounds always restart trivial (1 for PHP space, ``L`` for
+    THT) — Theorem 5's dummy value depends on boundary structure that
+    the update may have changed, so re-deriving it is the safe move.
+    Every warm-started path is expected to run under
+    ``FLoSOptions.audit="check"`` so a violated precondition surfaces as
+    an :class:`~repro.errors.AuditError` rather than a wrong answer.
+    """
+
+    nodes: np.ndarray
+    lower: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "nodes", np.asarray(self.nodes, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "lower", np.asarray(self.lower, dtype=np.float64)
+        )
+        if len(self.nodes) != len(self.lower):
+            raise SearchError("warm-start nodes/lower length mismatch")
+        if len(self.nodes) == 0:
+            raise SearchError("warm-start seed must contain the query")
+
+
 @dataclass
 class EngineOutcome:
     """Raw engine output in PHP space; wrappers convert to native values."""
@@ -275,6 +316,7 @@ class PHPSpaceEngine(SoftBudgetMixin):
         unvisited_degree_bound=None,
         options: FLoSOptions | None = None,
         exclude: frozenset[int] = frozenset(),
+        warm_start: WarmStart | None = None,
     ):
         if k < 1:
             raise SearchError("k must be >= 1")
@@ -295,10 +337,28 @@ class PHPSpaceEngine(SoftBudgetMixin):
         self.view = LocalView(
             graph, query, track_tightening=self.options.tighten
         )
-        # PHP-space bounds over local ids; the query is local id 0 with
-        # the constant proximity 1 (Sec. 3.2).
-        self._lb = np.array([1.0])
-        self._ub = np.array([1.0])
+        if warm_start is not None:
+            if int(warm_start.nodes[0]) != query:
+                raise SearchError(
+                    "warm-start seed must lead with the query node"
+                )
+            # Re-visit the prior visited set in its original local order
+            # so the seeded bound vectors align with the rebuilt view.
+            self.view.visit_sequence(warm_start.nodes[1:])
+            if self.view.size != len(warm_start.nodes):
+                raise SearchError("warm-start seed contains duplicate nodes")
+            # Prior lower bounds stay valid under the WarmStart contract
+            # (T_S unchanged ⇒ Theorem 3 still certifies them, and the
+            # solver's monotone iteration from below can only tighten);
+            # upper bounds restart at the trivial 1.
+            self._lb = np.clip(warm_start.lower, 0.0, 1.0)
+            self._ub = np.ones(self.view.size)
+            self._lb[0] = self._ub[0] = 1.0
+        else:
+            # PHP-space bounds over local ids; the query is local id 0
+            # with the constant proximity 1 (Sec. 3.2).
+            self._lb = np.array([1.0])
+            self._ub = np.array([1.0])
         self._dummy_value = 1.0
         self._kernel = (
             None
@@ -307,8 +367,18 @@ class PHPSpaceEngine(SoftBudgetMixin):
         )
         # Excluded-locals mask, extended as nodes are visited, so the
         # termination check never rescans the whole visited set.
-        self._excluded = np.array([query in exclude])
-        self.stats = SearchStats(solver=self.options.solver)
+        if warm_start is not None and exclude:
+            self._excluded = np.fromiter(
+                (int(gid) in exclude for gid in warm_start.nodes),
+                dtype=bool,
+                count=self.view.size,
+            )
+        else:
+            self._excluded = np.zeros(self.view.size, dtype=bool)
+            self._excluded[0] = query in exclude
+        self.stats = SearchStats(
+            solver=self.options.solver, warm_started=warm_start is not None
+        )
         self.trace: list[IterationSnapshot] = []
         # Lazy import keeps audit="off" runs free of the audit package
         # (and avoids a core <-> audit import cycle at module load).

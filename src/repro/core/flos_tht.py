@@ -48,7 +48,12 @@ import time
 
 import numpy as np
 
-from repro.core.flos import EngineOutcome, FLoSOptions, SoftBudgetMixin
+from repro.core.flos import (
+    EngineOutcome,
+    FLoSOptions,
+    SoftBudgetMixin,
+    WarmStart,
+)
 from repro.core.iterative import finite_horizon_solve
 from repro.core.kernels import THTDPKernel
 from repro.core.localgraph import LocalView
@@ -70,6 +75,7 @@ class THTEngine(SoftBudgetMixin):
         horizon: int,
         options: FLoSOptions | None = None,
         exclude: frozenset[int] = frozenset(),
+        warm_start: WarmStart | None = None,
     ):
         if k < 1:
             raise SearchError("k must be >= 1")
@@ -85,16 +91,44 @@ class THTEngine(SoftBudgetMixin):
         # THT uses the plain deletion/dummy bounds of Appendix 10.4; the
         # star-to-mesh tightening is specific to the decayed measures.
         self.view = LocalView(graph, query, track_tightening=False)
-        self._lb = np.array([0.0])  # hitting time of q is 0 by definition
-        self._ub = np.array([0.0])
+        if warm_start is not None:
+            if int(warm_start.nodes[0]) != query:
+                raise SearchError(
+                    "warm-start seed must lead with the query node"
+                )
+            self.view.visit_sequence(warm_start.nodes[1:])
+            if self.view.size != len(warm_start.nodes):
+                raise SearchError("warm-start seed contains duplicate nodes")
+            # Prior hitting-time lower bounds stay valid under the
+            # WarmStart contract (the DP induction only reads ``T_S``,
+            # the dummy mass and the boundary — all unchanged when every
+            # event is an insertion outside the seeded set) and persist
+            # through the monotone envelope of ``_update_bounds``.
+            # Upper bounds restart at the trivial ``L``.
+            self._lb = np.clip(warm_start.lower, 0.0, float(horizon))
+            self._ub = np.full(self.view.size, float(horizon))
+            self._lb[0] = self._ub[0] = 0.0
+        else:
+            self._lb = np.array([0.0])  # hitting time of q is 0 by definition
+            self._ub = np.array([0.0])
         # The finite-horizon DP has no fixed point to converge to, so the
         # stationary solver modes collapse to two choices here: the
         # legacy per-step matvec pair, or the fused cached-CSR DP.
         self._kernel = (
             None if self.options.solver == "jacobi" else THTDPKernel(self.view)
         )
-        self._excluded = np.array([query in exclude])
-        self.stats = SearchStats(solver=self.options.solver)
+        if warm_start is not None and exclude:
+            self._excluded = np.fromiter(
+                (int(gid) in exclude for gid in warm_start.nodes),
+                dtype=bool,
+                count=self.view.size,
+            )
+        else:
+            self._excluded = np.zeros(self.view.size, dtype=bool)
+            self._excluded[0] = query in exclude
+        self.stats = SearchStats(
+            solver=self.options.solver, warm_started=warm_start is not None
+        )
         self.trace: list[IterationSnapshot] = []
         # Lazy import: audit="off" runs never load the audit package.
         self._auditor = None

@@ -211,6 +211,38 @@ class LocalView:
         """COO ``(rows, cols, probs)`` of the restored transitions in S."""
         return self._rows.view(), self._cols.view(), self._probs.view()
 
+    def closed_ball(self) -> np.ndarray:
+        """Sorted closed visited ball ``S ∪ N(S)`` as global ``int32`` ids.
+
+        This is every node whose graph record the search *read*: the
+        visited set plus its one-hop boundary (boundary degrees enter the
+        star-to-mesh tightening of Sec. 5.3, so an edge update touching a
+        boundary node can change the computed bounds even though the node
+        was never visited).  The serving cache stores this array per
+        result and invalidates only entries whose ball intersects an
+        updated endpoint — see ``docs/serving.md``.
+        """
+        ball = np.unique(
+            np.concatenate([self._gids.view(), self._adj_ids.view()])
+        )
+        return ball.astype(np.int32, copy=False)
+
+    def visit_sequence(self, nodes: np.ndarray) -> None:
+        """Visit ``nodes`` (global ids, unvisited, in order).
+
+        Warm-start entry point: re-seeds a fresh view with a prior
+        result's visited set so the engines can resume from previously
+        certified bounds.  Uses the view's configured restoration path.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return
+        if self._vectorized:
+            self._visit_batch(nodes)
+        else:
+            for node in nodes:
+                self._visit(int(node))
+
     # ------------------------------------------------------------------
     # State invariants (runtime audit layer)
     # ------------------------------------------------------------------

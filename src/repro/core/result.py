@@ -66,6 +66,13 @@ class SearchStats:
     rows_swept: int = 0
     audit_checks: int = 0
     audit_violations: int = 0
+    #: Sorted closed visited ball (visited ∪ one-hop boundary) as a
+    #: compact read-only ``int32`` array, recorded on versioned graphs so
+    #: the serving cache can localize invalidation; ``None`` elsewhere.
+    visited_ball: np.ndarray | None = None
+    #: True when the search was warm-started from a prior result's
+    #: bounds (incremental serving) rather than run from scratch.
+    warm_started: bool = False
 
     def visited_ratio(self, num_nodes: int) -> float:
         return self.visited_nodes / num_nodes if num_nodes else 0.0
@@ -84,6 +91,7 @@ class SearchStats:
             "rows_swept": int(self.rows_swept),
             "audit_checks": int(self.audit_checks),
             "audit_violations": int(self.audit_violations),
+            "warm_started": bool(self.warm_started),
         }
 
 

@@ -57,7 +57,12 @@ import numpy as np
 
 from repro.core.api import QueryOverrides, QueryRequest, resolve_overrides
 from repro.core.degree_index import DegreeIndex, degree_descending_order
-from repro.core.flos import EngineOutcome, FLoSOptions, PHPSpaceEngine
+from repro.core.flos import (
+    EngineOutcome,
+    FLoSOptions,
+    PHPSpaceEngine,
+    WarmStart,
+)
 from repro.core.flos_tht import THTEngine
 from repro.core.result import BatchSummary, SearchStats, TopKResult
 from repro.errors import SearchError
@@ -111,6 +116,13 @@ class SessionMetrics:
     terminations: dict[str, int]
     audit_checks: int = 0
     audit_violations: int = 0
+    #: Cached results dropped because an edge update touched their
+    #: visited ball (or, for graphs without an update log, because the
+    #: graph's edge count changed under the session).
+    cache_invalidations: int = 0
+    #: Invalidated queries re-run seeded from their prior bounds instead
+    #: of from scratch (see ``docs/serving.md``).
+    warm_starts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -142,29 +154,57 @@ class SessionMetrics:
             },
             "audit_checks": self.audit_checks,
             "audit_violations": self.audit_violations,
+            "cache_invalidations": self.cache_invalidations,
+            "warm_starts": self.warm_starts,
         }
 
 
+@dataclass
+class _CacheEntry:
+    """One cached result plus the state needed to validate it later.
+
+    ``version`` is the graph's update-log version the result was
+    computed at (fast-forwarded on access when no event touched the
+    ball); ``fingerprint`` is the fallback mutation detector for graphs
+    without an update log.  ``ball`` is the closed visited ball (sorted
+    ``int32``), ``seed_nodes`` / ``seed_lower`` the warm-start seed
+    (visited set in local order, engine-space lower bounds), and
+    ``max_degree`` the graph's max degree at compute time — the Sec. 5.6
+    RWR guard read it, so a kept hit must see it unchanged.
+    """
+
+    result: TopKResult
+    version: int
+    fingerprint: tuple
+    ball: np.ndarray | None = None
+    seed_nodes: np.ndarray | None = None
+    seed_lower: np.ndarray | None = None
+    max_degree: float = 0.0
+
+
 class _ResultCache:
-    """Bounded LRU of TopKResults; thread safety comes from the caller."""
+    """Bounded LRU of cache entries; thread safety comes from the caller."""
 
     def __init__(self, maxsize: int):
         self.maxsize = maxsize
-        self._store: OrderedDict[tuple, TopKResult] = OrderedDict()
+        self._store: OrderedDict[tuple, _CacheEntry] = OrderedDict()
 
-    def get(self, key: tuple) -> TopKResult | None:
-        result = self._store.get(key)
-        if result is not None:
+    def get(self, key: tuple) -> _CacheEntry | None:
+        entry = self._store.get(key)
+        if entry is not None:
             self._store.move_to_end(key)
-        return result
+        return entry
 
-    def put(self, key: tuple, result: TopKResult) -> None:
+    def put(self, key: tuple, entry: _CacheEntry) -> None:
         if self.maxsize <= 0:
             return
-        self._store[key] = result
+        self._store[key] = entry
         self._store.move_to_end(key)
         while len(self._store) > self.maxsize:
             self._store.popitem(last=False)
+
+    def evict(self, key: tuple) -> None:
+        self._store.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -239,6 +279,20 @@ class QuerySession:
         ):
             self._degree_order = degree_descending_order(graph)
 
+        # Incremental serving: graphs that expose an ``update_log``
+        # (e.g. :class:`~repro.graph.dynamic.DynamicGraph`) get
+        # version-aware, ball-localized cache invalidation; any other
+        # mutable graph falls back to a coarse fingerprint check.
+        self._update_log = getattr(graph, "update_log", None)
+        # Degree-weighted measures (RWR) read ``graph.max_degree`` in the
+        # Sec. 5.6 termination guard whenever no CSR DegreeIndex exists —
+        # a kept cache hit must see that value unchanged to stay sound.
+        self._needs_degree_guard = (
+            self._engine_kind == "php"
+            and self.measure.uses_degree_weighting()
+            and not isinstance(graph, CSRGraph)
+        )
+
         self._lock = threading.Lock()
         self._cache = _ResultCache(cache_size)
         self._queries_served = 0
@@ -254,6 +308,8 @@ class QuerySession:
         self._terminations: dict[str, int] = {}
         self._audit_checks = 0
         self._audit_violations = 0
+        self._cache_invalidations = 0
+        self._warm_starts = 0
         # Slow-query log: min-heap of (wall_seconds, seq, entry) keeping
         # the worst ``slow_log_size`` engine runs; ``seq`` breaks ties so
         # dict entries are never compared.
@@ -315,28 +371,64 @@ class QuerySession:
         # overrides do not — a cached exact answer satisfies any budget.
         key = (int(query), int(k), excluded, resolved.solver, resolved.audit)
 
-        # Cache lookup, hit accounting, and the defensive copy happen
-        # under one lock acquisition: copying outside it would let a
-        # concurrent caller's mutation of the shared cached object race
-        # the copy, and split lookup/accounting would let the metrics
-        # drift from the cache state observed.
+        # Cache lookup, validation against the graph's update log, hit
+        # accounting, and the defensive copy happen under one lock
+        # acquisition: copying outside it would let a concurrent
+        # caller's mutation of the shared cached object race the copy,
+        # and split lookup/accounting would let the metrics drift from
+        # the cache state observed.
+        warm: WarmStart | None = None
         with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                elapsed = time.monotonic() - started
-                self._queries_served += 1
-                self._cache_hits += 1
-                self._total_wall_seconds += elapsed
-                self._wall_samples.append(elapsed)
-                return cached.copy()
+            entry = self._cache.get(key)
+            if entry is not None:
+                verdict = self._validate_entry(entry)
+                if verdict == "hit":
+                    elapsed = time.monotonic() - started
+                    self._queries_served += 1
+                    self._cache_hits += 1
+                    self._total_wall_seconds += elapsed
+                    self._wall_samples.append(elapsed)
+                    return entry.result.copy()
+                # Stale: drop it, optionally keeping its bounds as a
+                # warm-start seed when the update direction allows.
+                self._cache.evict(key)
+                self._cache_invalidations += 1
+                if isinstance(verdict, WarmStart):
+                    warm = verdict
 
-        result = self._execute(int(query), int(k), excluded, options)
+        # Capture the version *before* executing: a mutation racing the
+        # engine run then stamps the entry conservatively stale, and the
+        # next access replays the missed events.
+        version_now = self._graph_version()
+        fingerprint_now = self._graph_fingerprint()
+        result, outcome = self._execute(
+            int(query), int(k), excluded, options, warm_start=warm
+        )
         result.stats.wall_time_seconds = time.monotonic() - started
         if result.exact:
-            with self._lock:
+            entry = _CacheEntry(
                 # Store a private copy: the caller owns ``result`` and
                 # may mutate it after we return.
-                self._cache.put(key, result.copy())
+                result=result.copy(),
+                version=version_now,
+                fingerprint=fingerprint_now,
+                ball=result.stats.visited_ball,
+                seed_nodes=(
+                    outcome.view.global_ids().astype(np.int64, copy=True)
+                    if outcome is not None
+                    else None
+                ),
+                seed_lower=(
+                    outcome.lower if outcome is not None else None
+                ),
+                max_degree=(
+                    float(self.graph.max_degree)
+                    if self._needs_degree_guard
+                    else 0.0
+                ),
+            )
+            with self._lock:
+                self._cache.put(key, entry)
         self._record_miss(result)
         return result
 
@@ -442,6 +534,8 @@ class QuerySession:
                 terminations=dict(self._terminations),
                 audit_checks=self._audit_checks,
                 audit_violations=self._audit_violations,
+                cache_invalidations=self._cache_invalidations,
+                warm_starts=self._warm_starts,
             )
 
     def slow_queries(self) -> list[dict]:
@@ -476,6 +570,77 @@ class QuerySession:
         )
 
     # ------------------------------------------------------------------
+    # Incremental serving: version-aware cache validation
+    # ------------------------------------------------------------------
+
+    def _graph_version(self) -> int:
+        return self._update_log.version if self._update_log is not None else 0
+
+    def _graph_fingerprint(self) -> tuple:
+        """Coarse mutation detector for graphs without an update log."""
+        return (int(self.graph.num_edges), int(self.graph.num_nodes))
+
+    def _validate_entry(self, entry: _CacheEntry):
+        """Decide what a cached entry is still good for (caller holds
+        the lock).
+
+        Returns ``"hit"`` (serve it), ``"cold"`` (evict, recompute from
+        scratch) or a :class:`~repro.core.flos.WarmStart` (evict, but
+        re-enter the engine seeded from the prior bounds).  The decision
+        tree, justified in ``docs/serving.md``:
+
+        * no update log → fingerprint fallback (satellite bugfix: a
+          mutable graph edited after caching must never serve stale);
+        * version current → hit;
+        * events fell off the replay window (or ``compact()`` ran) →
+          cold, nothing is known about what changed;
+        * no event endpoint intersects the entry's **closed** ball
+          (visited ∪ one-hop boundary — the boundary's degrees entered
+          the star-to-mesh tightening, so the open ball is not enough) →
+          hit, and the entry's version fast-forwards so later lookups
+          skip the replay.  Degree-weighted measures additionally
+          require ``graph.max_degree`` unchanged (Sec. 5.6 guard);
+        * ball touched, but every event is an *insertion* whose
+          endpoints avoid the visited set itself (only the boundary was
+          hit) → the restricted system ``T_S`` is unchanged, so the
+          prior lower bounds are still valid (Theorems 3/4): warm
+          start;
+        * anything else → cold.
+        """
+        log = self._update_log
+        if log is None:
+            if self._graph_fingerprint() == entry.fingerprint:
+                return "hit"
+            return "cold"
+        events = log.events_since(entry.version)
+        if events is None:
+            return "cold"
+        if not events:
+            return "hit"
+        if entry.ball is None:
+            return "cold"
+        touched = np.fromiter(
+            (x for e in events for x in (e.u, e.v)),
+            dtype=np.int64,
+            count=2 * len(events),
+        )
+        touched = np.unique(touched)
+        if not np.isin(touched, entry.ball).any():
+            if self._needs_degree_guard and (
+                float(self.graph.max_degree) != entry.max_degree
+            ):
+                return "cold"
+            entry.version = log.version
+            return "hit"
+        if (
+            entry.seed_nodes is not None
+            and all(e.kind == "add" for e in events)
+            and not np.isin(touched, entry.seed_nodes).any()
+        ):
+            return WarmStart(nodes=entry.seed_nodes, lower=entry.seed_lower)
+        return "cold"
+
+    # ------------------------------------------------------------------
     # Engine dispatch (the logic formerly inlined in api.flos_top_k)
     # ------------------------------------------------------------------
 
@@ -494,14 +659,22 @@ class QuerySession:
         k: int,
         excluded: frozenset[int],
         options: FLoSOptions,
-    ) -> TopKResult:
+        warm_start: WarmStart | None = None,
+    ) -> tuple[TopKResult, EngineOutcome | None]:
         graph, measure = self.graph, self.measure
         graph.validate_node(query)
 
         if graph.degree(query) <= 0.0:
             # Isolated query: every proximity is degenerate (0 for
             # hitting probabilities, L for THT); no meaningful ranking.
-            return self._empty_result(query, k)
+            result = self._empty_result(query, k)
+            if self._update_log is not None:
+                # Its ball is the query alone — an edge landing on the
+                # query must invalidate this entry.
+                ball = np.array([query], dtype=np.int32)
+                ball.flags.writeable = False
+                result.stats.visited_ball = ball
+            return result, None
 
         if self._engine_kind == "tht":
             engine = THTEngine(
@@ -511,25 +684,37 @@ class QuerySession:
                 horizon=measure.horizon,
                 options=options,
                 exclude=excluded,
+                warm_start=warm_start,
             )
             outcome = engine.run()
-            return self._tht_result(outcome, query, k)
+            result = self._tht_result(outcome, query, k)
+        else:
+            degree_bound = None
+            if measure.uses_degree_weighting() and isinstance(graph, CSRGraph):
+                degree_bound = DegreeIndex(graph, order=self._degree_order)
+            engine = PHPSpaceEngine(
+                graph,
+                query,
+                k,
+                decay=measure.php_decay,
+                degree_weighted=measure.uses_degree_weighting(),
+                unvisited_degree_bound=degree_bound,
+                options=options,
+                exclude=excluded,
+                warm_start=warm_start,
+            )
+            outcome = engine.run()
+            result = self._php_family_result(outcome, query, k)
 
-        degree_bound = None
-        if measure.uses_degree_weighting() and isinstance(graph, CSRGraph):
-            degree_bound = DegreeIndex(graph, order=self._degree_order)
-        engine = PHPSpaceEngine(
-            graph,
-            query,
-            k,
-            decay=measure.php_decay,
-            degree_weighted=measure.uses_degree_weighting(),
-            unvisited_degree_bound=degree_bound,
-            options=options,
-            exclude=excluded,
-        )
-        outcome = engine.run()
-        return self._php_family_result(outcome, query, k)
+        if self._update_log is not None:
+            # Persist the closed visited ball on the result so the cache
+            # can localize later invalidation (ISSUE: compact sorted
+            # int32 in ``TopKResult.stats``).  Read-only — ``copy()``
+            # shares it by reference.
+            ball = outcome.view.closed_ball()
+            ball.flags.writeable = False
+            result.stats.visited_ball = ball
+        return result, outcome
 
     def _php_family_result(
         self, outcome: EngineOutcome, query: int, k: int
@@ -651,6 +836,8 @@ class QuerySession:
             )
             self._audit_checks += stats.audit_checks
             self._audit_violations += stats.audit_violations
+            if stats.warm_started:
+                self._warm_starts += 1
             if self._slow_log_size > 0:
                 entry = {
                     "query": int(result.query),

@@ -2,13 +2,26 @@
 
 from repro.graph.base import GraphAccess
 from repro.graph.builder import GraphBuilder
+from repro.graph.dynamic import DeltaGraph, DynamicGraph
 from repro.graph.memory import CSRGraph
 from repro.graph.stats import GraphStats, degree_histogram, graph_stats
+from repro.graph.updates import (
+    EdgeEvent,
+    EdgeUpdate,
+    UpdateLog,
+    apply_edge_updates,
+)
 
 __all__ = [
     "GraphAccess",
     "GraphBuilder",
     "CSRGraph",
+    "DeltaGraph",
+    "DynamicGraph",
+    "EdgeEvent",
+    "EdgeUpdate",
+    "UpdateLog",
+    "apply_edge_updates",
     "GraphStats",
     "graph_stats",
     "degree_histogram",

@@ -63,6 +63,9 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.graph.base import GraphAccess
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.memory import CSRGraph
+from repro.graph.updates import EdgeUpdate, apply_edge_updates
 from repro.measures.resolve import resolve_measure
 from repro.serve.metrics import ServeMetrics
 from repro.serve.shared import open_shared
@@ -170,6 +173,12 @@ class ShardedServer:
         Worker process count (default: ``os.cpu_count()``).
     start_method:
         ``multiprocessing`` start method (default: the platform's).
+    mutable:
+        Enable :meth:`apply_updates`: each worker wraps the shared CSR
+        segment in a private :class:`~repro.graph.dynamic.DynamicGraph`
+        overlay and invalidates its own cache *locally* per update (no
+        global flush).  Requires an in-memory ``CSRGraph`` (shared
+        memory); see ``docs/serving.md``, "Serving evolving graphs".
     """
 
     def __init__(
@@ -182,6 +191,7 @@ class ShardedServer:
         slow_log_size: int = 32,
         workers: int | None = None,
         start_method: str | None = None,
+        mutable: bool = False,
         **measure_params,
     ):
         if workers is None:
@@ -196,6 +206,16 @@ class ShardedServer:
         self._slow_log_size = slow_log_size
         self._num_workers = workers
         self._closed = False
+        # Mutable serving (``apply_updates``): each worker wraps the
+        # shared CSR segment in a private DynamicGraph overlay; the
+        # dispatcher keeps its own shadow overlay to validate update
+        # batches synchronously and to replay history into respawned
+        # workers.
+        self._mutable = bool(mutable)
+        self._shadow: DynamicGraph | None = None
+        self._updates: list[EdgeUpdate] = []
+        self._updates_applied = 0
+        self._update_errors: list[tuple[str, str]] = []
 
         # Dispatcher counters (single-threaded dispatcher: no lock).
         self._seq = 0
@@ -246,6 +266,15 @@ class ShardedServer:
             )
             return
 
+        if self._mutable:
+            if self._shared.kind != "shm" or not isinstance(graph, CSRGraph):
+                raise ConfigurationError(
+                    "mutable serving requires an in-memory CSRGraph "
+                    "published over shared memory (mmap-backed disk "
+                    f"stores cannot host an overlay); got {self._shared.kind}"
+                )
+            self._shadow = DynamicGraph(graph)
+
         import multiprocessing as mp
 
         self._ctx = mp.get_context(start_method)
@@ -269,6 +298,7 @@ class ShardedServer:
         slow_log_size: int = 32,
         workers: int | None = None,
         start_method: str | None = None,
+        mutable: bool = False,
         **measure_params,
     ) -> "ShardedServer":
         """Build a server; the canonical spelling (mirrors
@@ -281,6 +311,7 @@ class ShardedServer:
             slow_log_size=slow_log_size,
             workers=workers,
             start_method=start_method,
+            mutable=mutable,
             **measure_params,
         )
 
@@ -377,6 +408,76 @@ class ShardedServer:
         return BatchSummary(results)
 
     # ------------------------------------------------------------------
+    # Incremental updates (mutable serving)
+    # ------------------------------------------------------------------
+
+    def apply_updates(
+        self, updates: Sequence[EdgeUpdate] | Iterable[EdgeUpdate]
+    ) -> int:
+        """Apply a batch of edge updates to every worker's overlay.
+
+        The batch is validated synchronously on the dispatcher's shadow
+        overlay — an invalid update (unknown node, removing a missing
+        edge) raises here *before* anything is broadcast, so workers
+        never diverge.  The broadcast itself is fire-and-forget: each
+        worker's FIFO request queue guarantees the updates are applied
+        before any later query on that worker, and each worker's
+        session invalidates only the cached entries whose visited ball
+        the update touched (no global flush).  A worker-side failure
+        (which the shadow validation makes unreachable short of a
+        worker bug) surfaces at the next ``apply_updates`` call.
+
+        Returns the number of updates applied.  Requires
+        ``mutable=True`` (multi-process) or a mutable graph
+        (in-process fallback).
+        """
+        self._check_open()
+        batch = [
+            u if isinstance(u, EdgeUpdate) else EdgeUpdate(*u)
+            for u in updates
+        ]
+        if not batch:
+            return 0
+        if self._local_session is not None:
+            graph = self._local_session.graph
+            if not hasattr(graph, "add_edge"):
+                raise ConfigurationError(
+                    "apply_updates needs a mutable graph; wrap it in "
+                    "DynamicGraph (repro.graph) before serving"
+                )
+            applied = apply_edge_updates(graph, batch)
+            self._updates_applied += applied
+            return applied
+        if not self._mutable:
+            raise ConfigurationError(
+                "server was not started with mutable=True"
+            )
+        if self._update_errors:
+            name, text = self._update_errors.pop(0)
+            raise _rebuild_error(name, text)
+        # Shadow validation: raises without touching any worker.
+        apply_edge_updates(self._shadow, batch)
+        self._updates.extend(batch)
+        for state in self._workers:
+            if not state.process.is_alive():
+                # _spawn replays the full history (including this
+                # batch) into the fresh worker — don't enqueue twice.
+                self._respawn(state)
+                continue
+            seq = self._seq
+            self._seq += 1
+            state.queue.put(("update", seq, batch))
+        self._updates_applied += len(batch)
+        return len(batch)
+
+    @property
+    def graph_version(self) -> int:
+        """Version of the (shadow) overlay after all applied updates."""
+        if self._local_session is not None:
+            return int(getattr(self._local_session.graph, "version", 0))
+        return int(self._shadow.version) if self._shadow is not None else 0
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -398,6 +499,7 @@ class ShardedServer:
         degraded_results = sum(
             w.get("degraded_results", 0) for w in per_worker
         )
+        warm_starts = sum(w.get("warm_starts", 0) for w in per_worker)
         samples = np.fromiter(self._latencies, dtype=np.float64)
         if (
             self._first_submit is not None
@@ -426,6 +528,8 @@ class ShardedServer:
             p95_wall_seconds=(
                 float(np.percentile(samples, 95)) if len(samples) else 0.0
             ),
+            updates_applied=self._updates_applied,
+            warm_starts=warm_starts,
             per_worker=tuple(per_worker),
         )
 
@@ -662,6 +766,14 @@ class ShardedServer:
         if kind == "metrics":
             self._metric_replies[seq] = (worker_id, payload)
             return
+        if kind == "updated":
+            # Fire-and-forget update acknowledgement; nothing to track.
+            return
+        if kind == "update_error":
+            # Shadow validation makes this unreachable short of a
+            # worker-side bug; surface it at the next apply_updates.
+            self._update_errors.append(payload)
+            return
         entry = self._inflight.pop(seq, None)
         if entry is None:
             return  # duplicate answer after a retry — already served
@@ -714,6 +826,7 @@ class ShardedServer:
                 self._slow_log_size,
                 state.queue,
                 send_conn,
+                self._mutable,
             ),
             daemon=True,
             name=f"flos-serve-{state.worker_id}",
@@ -724,6 +837,14 @@ class ShardedServer:
         # _poll turns into a respawn.
         send_conn.close()
         self._await_ready(state)
+        if self._updates:
+            # A (re)spawned worker starts from the pristine shared
+            # segment: replay the full update history before anything
+            # else enters its FIFO queue, so every later query sees the
+            # same overlay as the surviving workers.
+            seq = self._seq
+            self._seq += 1
+            state.queue.put(("update", seq, list(self._updates)))
 
     def _await_ready(self, state: _WorkerState, timeout: float = 30.0) -> None:
         deadline = time.monotonic() + timeout

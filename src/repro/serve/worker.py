@@ -12,6 +12,9 @@ Wire protocol (all tuples, pickled over multiprocessing queues):
 
 ======================  =====================================================
 dispatcher → worker     ``("query", seq, QueryRequest)`` — answer it;
+                        ``("update", seq, [EdgeUpdate, ...])`` — apply
+                        an edge-update batch to the worker's mutable
+                        overlay (``mutable=True`` servers only);
                         ``("metrics", seq, None)`` — snapshot session
                         metrics; ``("crash", 0, None)`` — test hook,
                         die instantly via ``os._exit`` (no cleanup, as
@@ -20,8 +23,22 @@ worker → dispatcher     ``(worker_id, seq, kind, payload)`` with kind
                         ``"ready"`` (payload: pid), ``"ok"`` (payload:
                         TopKResult), ``"error"`` (payload: exception
                         class name + message), ``"metrics"`` (payload:
-                        metrics dict), or ``"fatal"`` (startup failed).
+                        metrics dict), ``"updated"`` (payload: the
+                        overlay's new version), ``"update_error"``
+                        (payload: class name + message — the dispatcher
+                        raises it at the next ``apply_updates``), or
+                        ``"fatal"`` (startup failed).
 ======================  =====================================================
+
+Mutable serving (``mutable=True``): the worker wraps the shared
+immutable CSR segment in a private
+:class:`~repro.graph.dynamic.DynamicGraph` overlay.  The base arrays
+stay zero-copy; only the delta is per-worker, and because every worker
+applies the same update sequence in the same order (per-worker FIFO
+queues guarantee an update is visible to every later query on that
+worker), the overlays are replicas.  Cache invalidation then happens
+*inside* each worker's session via the overlay's update log — no global
+flush message exists, which is the point.
 
 Responses travel over a **per-worker pipe**, not a shared queue, and
 that choice is load-bearing for crash recovery: a shared
@@ -43,6 +60,8 @@ import os
 
 from repro.core.flos import FLoSOptions
 from repro.core.session import QuerySession
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.updates import apply_edge_updates
 from repro.serve.shared import SharedGraphDescriptor, attach_shared
 
 __all__ = ["worker_main"]
@@ -57,20 +76,24 @@ def worker_main(
     slow_log_size: int,
     requests,
     responses,
+    mutable: bool = False,
 ) -> None:
     """Run one serving worker until the ``None`` sentinel arrives.
 
     ``requests`` is this worker's ``SimpleQueue``; ``responses`` is the
-    send end of this worker's private pipe.  Never raises: startup
-    failures are reported as a ``"fatal"`` message (the dispatcher
-    turns them into :class:`~repro.errors.WorkerCrashError`),
-    per-request failures as ``"error"`` responses that fail only the
-    offending request.
+    send end of this worker's private pipe.  With ``mutable=True`` the
+    shared graph is wrapped in a private :class:`DynamicGraph` overlay
+    and ``"update"`` messages mutate it (module docstring).  Never
+    raises: startup failures are reported as a ``"fatal"`` message (the
+    dispatcher turns them into
+    :class:`~repro.errors.WorkerCrashError`), per-request failures as
+    ``"error"`` responses that fail only the offending request.
     """
     try:
         handle = attach_shared(descriptor)
+        graph = DynamicGraph(handle.graph) if mutable else handle.graph
         session = QuerySession(
-            handle.graph,
+            graph,
             measure,
             options=options,
             cache_size=cache_size,
@@ -98,6 +121,23 @@ def worker_main(
                 responses.send(
                     (worker_id, seq, "metrics", session.metrics().to_dict())
                 )
+                continue
+            if kind == "update":
+                try:
+                    apply_edge_updates(graph, payload)
+                except Exception as err:
+                    responses.send(
+                        (
+                            worker_id,
+                            seq,
+                            "update_error",
+                            (type(err).__name__, str(err)),
+                        )
+                    )
+                else:
+                    responses.send(
+                        (worker_id, seq, "updated", graph.version)
+                    )
                 continue
             try:
                 result = session.serve(payload)

@@ -1,0 +1,577 @@
+"""Incremental serving on evolving graphs (update log + localized cache).
+
+Covers the PR-10 contract end to end:
+
+* :class:`~repro.graph.updates.UpdateLog` — monotone versions, bounded
+  replay window, the ``compact()`` handshake;
+* :class:`~repro.core.session.QuerySession` on update-log graphs —
+  closed-ball localized invalidation (kept hits provably untouched),
+  the mutable-graph stale-cache regression, the Sec. 5.6 max-degree
+  guard for degree-weighted measures;
+* warm-started re-queries — sound only for insertions that avoid the
+  visited set, audited with ``audit="check"``, agreeing with a cold
+  recompute through their certified intervals;
+* the vectorized overlay merge vs. its scalar reference (hypothesis);
+* DynamicGraph ↔ ``compact()`` equivalence under randomized edit
+  sequences, and top-k agreement across all five measures;
+* update broadcast through :class:`~repro.serve.ShardedServer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import flos_top_k
+from repro.core.flos import FLoSOptions, WarmStart
+from repro.core.session import QuerySession
+from repro.errors import ConfigurationError, GraphError, SearchError
+from repro.graph.dynamic import DeltaGraph, DynamicGraph
+from repro.graph.generators import erdos_renyi, path_graph
+from repro.graph.updates import (
+    EdgeEvent,
+    EdgeUpdate,
+    UpdateLog,
+    apply_edge_updates,
+)
+from repro.measures import resolve_measure, solve_direct
+from repro.serve import ShardedServer
+
+CHECK = FLoSOptions(audit="check")
+
+
+# ----------------------------------------------------------------------
+# UpdateLog
+# ----------------------------------------------------------------------
+
+
+class TestUpdateLog:
+    def test_versions_are_monotone_and_consecutive(self):
+        log = UpdateLog()
+        assert log.version == 0
+        assert log.record(0, 1, "add") == 1
+        assert log.record(1, 2, "remove") == 2
+        assert [e.version for e in log.events_since(0)] == [1, 2]
+
+    def test_events_since_semantics(self):
+        log = UpdateLog()
+        log.record(0, 1, "add")
+        log.record(2, 3, "add")
+        assert log.events_since(2) == []  # current
+        suffix = log.events_since(1)
+        assert suffix == [EdgeEvent(2, 2, 3, "add")]
+        assert log.events_since(0) is not None
+        assert len(log.events_since(0)) == 2
+
+    def test_window_overflow_answers_none(self):
+        log = UpdateLog(window=2)
+        for i in range(4):
+            log.record(i, i + 1, "add")
+        assert log.events_since(0) is None  # fell off the window
+        assert log.events_since(1) is None
+        assert [e.version for e in log.events_since(2)] == [3, 4]
+        assert len(log) == 2
+
+    def test_compact_keeps_counter_drops_events(self):
+        log = UpdateLog()
+        log.record(0, 1, "add")
+        assert log.compact() == 1
+        assert log.version == 1
+        assert log.events_since(0) is None  # outstanding versions stale
+        assert log.events_since(1) == []  # the post-compact version is fine
+        assert log.record(3, 4, "add") == 2  # counter stays monotone
+
+    def test_touched_since(self):
+        log = UpdateLog()
+        log.record(5, 3, "add")
+        log.record(3, 9, "remove")
+        np.testing.assert_array_equal(log.touched_since(0), [3, 5, 9])
+        assert log.touched_since(2).size == 0
+        log2 = UpdateLog(window=1)
+        log2.record(0, 1, "add")
+        log2.record(1, 2, "add")
+        assert log2.touched_since(0) is None
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(GraphError, match="kind"):
+            UpdateLog().record(0, 1, "tweak")
+        with pytest.raises(GraphError, match="window"):
+            UpdateLog(window=0)
+        with pytest.raises(GraphError, match="kind"):
+            EdgeUpdate(0, 1, "tweak")
+
+    def test_delta_graph_alias_and_injected_log(self):
+        log = UpdateLog(window=4)
+        dyn = DeltaGraph(path_graph(4), update_log=log)
+        dyn.add_edge(0, 2)
+        assert dyn.update_log is log
+        assert dyn.version == log.version == 1
+
+
+class TestApplyEdgeUpdates:
+    def test_applies_in_order_and_counts(self):
+        dyn = DynamicGraph(path_graph(5))
+        n = apply_edge_updates(
+            dyn,
+            [
+                EdgeUpdate(0, 2, "add", weight=2.0),
+                EdgeUpdate(0, 2, "remove"),
+                EdgeUpdate(0, 3),
+            ],
+        )
+        assert n == 3
+        assert dyn.version == 3
+        assert not dyn.has_edge(0, 2)
+        assert dyn.edge_weight(0, 3) == 1.0
+
+    def test_failure_reports_position_and_stops(self):
+        dyn = DynamicGraph(path_graph(5))
+        with pytest.raises(GraphError, match=r"update 2/3 \(remove 1-4\)"):
+            apply_edge_updates(
+                dyn,
+                [
+                    EdgeUpdate(0, 4),
+                    EdgeUpdate(1, 4, "remove"),  # fails: no such edge
+                    EdgeUpdate(1, 3),
+                ],
+            )
+        # Strictly in order: the first applied, the third never ran.
+        assert dyn.has_edge(0, 4)
+        assert not dyn.has_edge(1, 3)
+        assert dyn.version == 1
+
+    def test_accepts_any_iterable(self):
+        dyn = DynamicGraph(path_graph(5))
+        assert apply_edge_updates(
+            dyn, (EdgeUpdate(0, i) for i in (2, 3))
+        ) == 2
+
+
+# ----------------------------------------------------------------------
+# Localized invalidation in QuerySession
+# ----------------------------------------------------------------------
+
+
+def _cold_answer(graph, measure, query, k, **kw):
+    """Fresh-session recompute — the stale-cache oracle."""
+    return QuerySession(graph, measure, **kw).top_k(query, k)
+
+
+class TestLocalizedInvalidation:
+    def test_stale_cache_regression_mutable_graph(self):
+        """Satellite (a): a graph edited after caching must never serve
+        the pre-edit answer."""
+        dyn = DynamicGraph(path_graph(6))
+        session = QuerySession(dyn, "php", c=0.5)
+        before = session.top_k(0, 1)
+        assert list(before.nodes) == [1]
+        dyn.add_edge(0, 5, 50.0)  # node 5 becomes the closest neighbor
+        after = session.top_k(0, 1)
+        assert list(after.nodes) == [5]
+        assert session.metrics().cache_invalidations == 1
+
+    def test_fingerprint_fallback_without_update_log(self):
+        """The no-log path still detects mutations (coarsely)."""
+        dyn = DynamicGraph(path_graph(6))
+        session = QuerySession(dyn, "php", c=0.5)
+        session._update_log = None  # simulate a log-less mutable graph
+        session.top_k(0, 1)
+        dyn.add_edge(0, 5, 50.0)  # num_edges changes the fingerprint
+        after = session.top_k(0, 1)
+        assert list(after.nodes) == [5]
+        assert session.metrics().cache_invalidations == 1
+
+    def test_untouched_ball_is_a_kept_hit(self):
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5)
+        first = session.top_k(0, 3)
+        ball = first.stats.visited_ball
+        assert ball is not None and not ball.flags.writeable
+        far = int(ball.max()) + 10
+        dyn.add_edge(far, far + 5, 2.0)  # nowhere near the ball
+        hit = session.top_k(0, 3)
+        m = session.metrics()
+        assert m.cache_hits == 1 and m.cache_invalidations == 0
+        np.testing.assert_array_equal(hit.nodes, first.nodes)
+        np.testing.assert_array_equal(hit.values, first.values)
+        # The entry's version fast-forwarded: another lookup with no new
+        # events is a plain hit, no replay needed.
+        assert session.top_k(0, 3) is not None
+        assert session.metrics().cache_hits == 2
+
+    def test_ball_touch_invalidates_and_recomputes_correctly(self):
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5)
+        session.top_k(0, 3)
+        dyn.add_edge(0, 30, 10.0)  # inside the ball: must recompute
+        served = session.top_k(0, 3)
+        cold = _cold_answer(dyn, "php", 0, 3, c=0.5)
+        np.testing.assert_array_equal(served.nodes, cold.nodes)
+        assert session.metrics().cache_invalidations == 1
+
+    def test_removal_in_ball_goes_cold(self):
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5)
+        session.top_k(0, 3)
+        dyn.remove_edge(2, 3)
+        served = session.top_k(0, 3)
+        assert not served.stats.warm_started  # removals never warm-start
+        cold = _cold_answer(dyn, "php", 0, 3, c=0.5)
+        np.testing.assert_array_equal(served.nodes, cold.nodes)
+
+    def test_window_overflow_goes_cold_but_correct(self):
+        dyn = DynamicGraph(
+            path_graph(60), update_log=UpdateLog(window=2)
+        )
+        session = QuerySession(dyn, "php", c=0.5)
+        session.top_k(0, 3)
+        for i in range(40, 44):  # 4 far-away events overflow window=2
+            dyn.add_edge(i, i + 10, 2.0)
+        served = session.top_k(0, 3)
+        m = session.metrics()
+        # The events are outside the ball, but the log can no longer
+        # prove it — the session must go cold rather than guess.
+        assert m.cache_hits == 0 and m.cache_invalidations == 1
+        cold = _cold_answer(dyn, "php", 0, 3, c=0.5)
+        np.testing.assert_array_equal(served.nodes, cold.nodes)
+
+    def test_compact_invalidates_outstanding_entries(self):
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5)
+        session.top_k(0, 3)
+        dyn.add_edge(40, 50, 2.0)
+        dyn.compact()  # handshake: outstanding versions now stale
+        session.top_k(0, 3)
+        m = session.metrics()
+        assert m.cache_hits == 0 and m.cache_invalidations == 1
+
+    def test_rwr_max_degree_guard(self):
+        """Sec. 5.6: the RWR unvisited-mass guard reads the *global*
+        max degree on overlay graphs, so a kept hit additionally needs
+        it unchanged — even when the ball itself was never touched."""
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "rwr", c=0.5)
+        session.top_k(0, 3)
+        # Far outside the ball, but raises max_degree from 2 to 4.
+        dyn.add_edge(40, 50, 1.0)
+        dyn.add_edge(40, 52, 1.0)
+        assert dyn.max_degree == pytest.approx(4.0)
+        served = session.top_k(0, 3)
+        m = session.metrics()
+        assert m.cache_hits == 0 and m.cache_invalidations == 1
+        cold = _cold_answer(dyn, "rwr", 0, 3, c=0.5)
+        np.testing.assert_array_equal(served.nodes, cold.nodes)
+
+    def test_php_ignores_far_degree_change(self):
+        """PHP is not degree-weighted: the same far edit stays a hit."""
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5)
+        session.top_k(0, 3)
+        dyn.add_edge(40, 50, 1.0)
+        dyn.add_edge(40, 52, 1.0)
+        session.top_k(0, 3)
+        assert session.metrics().cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Warm starts
+# ----------------------------------------------------------------------
+
+
+class TestWarmStart:
+    def _boundary_scenario(self, measure, **kw):
+        """Cache a query, then insert an edge touching only the ball's
+        boundary (never the visited set): the one case that re-enters
+        the engine seeded from the prior bounds."""
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, measure, options=CHECK, **kw)
+        first = session.top_k(0, 3)
+        frontier = int(first.stats.visited_ball.max())
+        dyn.add_edge(frontier, frontier + 5, 1.0)
+        warm = session.top_k(0, 3)
+        return session, dyn, warm
+
+    @pytest.mark.parametrize(
+        "measure,kw",
+        [("php", {"c": 0.5}), ("tht", {"horizon": 8})],
+    )
+    def test_boundary_insertion_warm_starts_and_audits(self, measure, kw):
+        session, dyn, warm = self._boundary_scenario(measure, **kw)
+        assert warm.stats.warm_started
+        assert warm.exact
+        m = session.metrics()
+        assert m.warm_starts == 1 and m.cache_invalidations == 1
+        assert m.audit_violations == 0  # audit="check" would have raised
+        # Agreement with a cold recompute: same certified set, and the
+        # cold values land inside the warm run's certified intervals.
+        cold = _cold_answer(dyn, measure, 0, 3, options=CHECK, **kw)
+        assert set(map(int, warm.nodes)) == set(map(int, cold.nodes))
+        # Both runs bracket the same true proximity, so per node the two
+        # certified intervals must intersect (point estimates may differ
+        # by the solver's τ truncation — trajectories differ).
+        cold_iv = {
+            int(n): (lo, hi)
+            for n, lo, hi in zip(cold.nodes, cold.lower, cold.upper)
+        }
+        for node, lo, hi in zip(warm.nodes, warm.lower, warm.upper):
+            c_lo, c_hi = cold_iv[int(node)]
+            assert max(lo, c_lo) <= min(hi, c_hi) + 1e-9
+
+    def test_visited_set_touch_does_not_warm_start(self):
+        dyn = DynamicGraph(path_graph(60))
+        session = QuerySession(dyn, "php", c=0.5, options=CHECK)
+        session.top_k(0, 3)
+        dyn.add_edge(1, 40, 1.0)  # endpoint 1 is visited: T_S changes
+        served = session.top_k(0, 3)
+        assert not served.stats.warm_started
+        assert session.metrics().warm_starts == 0
+
+    def test_warm_result_reaches_cache_and_serves_hits(self):
+        session, dyn, warm = self._boundary_scenario("php", c=0.5)
+        again = session.top_k(0, 3)
+        assert session.metrics().cache_hits == 1
+        np.testing.assert_array_equal(again.nodes, warm.nodes)
+
+    def test_warm_start_dataclass_validation(self):
+        with pytest.raises(SearchError):
+            WarmStart(
+                nodes=np.array([0, 1]), lower=np.array([1.0])
+            )
+        with pytest.raises(SearchError):
+            WarmStart(nodes=np.array([], dtype=np.int64), lower=np.array([]))
+
+    def test_warm_start_engine_rejects_wrong_query(self):
+        from repro.core.flos import PHPSpaceEngine
+
+        g = path_graph(6)
+        seed = WarmStart(
+            nodes=np.array([3, 2]), lower=np.array([1.0, 0.4])
+        )
+        with pytest.raises(SearchError, match="query"):
+            PHPSpaceEngine(g, 0, 2, decay=0.5, warm_start=seed)
+
+
+# ----------------------------------------------------------------------
+# Overlay merge: vectorized vs scalar reference (satellite b)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def edit_scripts(draw):
+    n = draw(st.integers(4, 16))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 15),
+                st.integers(0, 15),
+                st.sampled_from(["add", "remove", "readd"]),
+                st.floats(0.1, 5.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    return n, ops
+
+
+def _apply_script(dyn: DynamicGraph, ops) -> None:
+    n = dyn.num_nodes
+    for u, v, action, w in ops:
+        u %= n
+        v %= n
+        if u == v:
+            continue
+        if action == "remove":
+            if dyn.has_edge(u, v):
+                dyn.remove_edge(u, v)
+        elif action == "readd":
+            # Tombstone a base edge, then resurrect it — the delta path
+            # that historically regressed.
+            if dyn.has_edge(u, v):
+                dyn.remove_edge(u, v)
+            dyn.add_edge(u, v, w)
+        else:
+            dyn.add_edge(u, v, w)
+
+
+class TestVectorizedNeighbors:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edit_scripts(), st.integers(0, 2**31))
+    def test_matches_scalar_reference_exactly(self, script, seed):
+        n, ops = script
+        base = erdos_renyi(
+            n, min(2 * n, n * (n - 1) // 2), seed=seed
+        )
+        dyn = DynamicGraph(base)
+        _apply_script(dyn, ops)
+        for u in range(n):
+            ids_vec, w_vec = dyn.neighbors(u)
+            ids_ref, w_ref = dyn._neighbors_scalar(u)
+            np.testing.assert_array_equal(ids_vec, ids_ref)
+            np.testing.assert_array_equal(w_vec, w_ref)  # bitwise
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edit_scripts(), st.integers(0, 2**31))
+    def test_compact_equivalence_and_bookkeeping(self, script, seed):
+        """Satellite (d): overlay ≡ compacted rebuild under randomized
+        add / remove / tombstoned-re-add, including the counters."""
+        n, ops = script
+        base = erdos_renyi(
+            n, min(2 * n, n * (n - 1) // 2), seed=seed
+        )
+        dyn = DynamicGraph(base)
+        _apply_script(dyn, ops)
+        rebuilt = dyn.compact()
+        assert rebuilt.num_edges == dyn.num_edges
+        assert rebuilt.max_degree == pytest.approx(dyn.max_degree)
+        for u in range(n):
+            ids_d, w_d = dyn.neighbors(u)
+            order = np.argsort(ids_d)
+            ids_r, w_r = rebuilt.neighbors(u)
+            np.testing.assert_array_equal(ids_d[order], ids_r)
+            np.testing.assert_allclose(w_d[order], w_r)
+            assert dyn.degree(u) == pytest.approx(rebuilt.degree(u))
+
+
+class TestFiveMeasureAgreement:
+    """Top-k on the overlay ≡ top-k on the compacted CSR, per measure."""
+
+    @pytest.mark.parametrize(
+        "name,kw",
+        [
+            ("php", {"c": 0.5}),
+            ("ei", {"c": 0.5}),
+            ("dht", {"c": 0.5}),
+            ("rwr", {"c": 0.5}),
+            ("tht", {"horizon": 8}),
+        ],
+    )
+    def test_overlay_matches_compacted(self, name, kw):
+        measure = resolve_measure(name, **kw)
+        base = erdos_renyi(120, 360, seed=7)
+        dyn = DynamicGraph(base)
+        rng = np.random.default_rng(name.encode()[0])
+        for _ in range(25):
+            u, v = (int(x) for x in rng.integers(0, 120, size=2))
+            if u == v:
+                continue
+            if dyn.has_edge(u, v) and rng.random() < 0.4:
+                dyn.remove_edge(u, v)
+            else:
+                dyn.add_edge(u, v, float(rng.uniform(0.5, 2.0)))
+        rebuilt = dyn.compact()
+        res = flos_top_k(dyn, measure, 11, 5)
+        exact = solve_direct(measure, rebuilt, 11)
+        oracle = measure.top_k_from_vector(exact, 11, 5)
+        np.testing.assert_allclose(
+            np.sort(exact[res.nodes]), np.sort(exact[oracle]), atol=1e-5
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharded serving with updates
+# ----------------------------------------------------------------------
+
+
+class TestMutableServing:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return erdos_renyi(200, 700, seed=5)
+
+    def test_apply_updates_requires_mutable(self, graph):
+        with ShardedServer.from_graph(
+            graph, "php", c=0.5, workers=2
+        ) as server:
+            with pytest.raises(ConfigurationError, match="mutable"):
+                server.apply_updates([EdgeUpdate(0, 50)])
+
+    def test_broadcast_consistency_and_metrics(self, graph):
+        updates = [
+            EdgeUpdate(0, 150, "add", weight=3.0),
+            EdgeUpdate(7, 160, "add", weight=2.0),
+        ]
+        with ShardedServer.from_graph(
+            graph, "php", c=0.5, workers=2, mutable=True
+        ) as server:
+            server.top_k_many(range(12), k=5)
+            assert server.apply_updates(updates) == 2
+            assert server.graph_version == 2
+            batch = server.top_k_many(range(12), k=5)
+            metrics = server.metrics()
+        assert metrics.updates_applied == 2
+        # Oracle: the same session over an identically-updated overlay.
+        mirror = DynamicGraph(graph)
+        apply_edge_updates(mirror, updates)
+        oracle = QuerySession(mirror, "php", c=0.5).top_k_many(
+            range(12), k=5
+        )
+        for served, truth in zip(batch, oracle):
+            np.testing.assert_array_equal(served.nodes, truth.nodes)
+            # Workers may answer post-update queries warm-started, so
+            # point values can differ by the solver's τ truncation; the
+            # certified intervals must still contain the cold values.
+            for value, lo, hi in zip(
+                truth.values, served.lower, served.upper
+            ):
+                assert lo - 1e-6 <= value <= hi + 1e-6
+
+    def test_invalid_update_rejected_by_shadow_before_broadcast(
+        self, graph
+    ):
+        ids, _ = graph.neighbors(0)
+        non_neighbor = next(
+            v for v in range(1, graph.num_nodes)
+            if v not in set(map(int, ids))
+        )
+        with ShardedServer.from_graph(
+            graph, "php", c=0.5, workers=2, mutable=True
+        ) as server:
+            with pytest.raises(GraphError, match="failed"):
+                server.apply_updates(
+                    [EdgeUpdate(0, non_neighbor, "remove")]
+                )
+            # The shadow caught it synchronously; serving still works
+            # and no partial batch reached the workers.
+            result = server.top_k(3, 4)
+            assert result.exact
+
+    def test_respawned_worker_replays_updates(self, graph):
+        updates = [EdgeUpdate(1, 180, "add", weight=4.0)]
+        with ShardedServer.from_graph(
+            graph, "php", c=0.5, workers=2, mutable=True
+        ) as server:
+            server.apply_updates(updates)
+            # Hard-kill worker 0 via the control hook, then query: the
+            # respawned worker must replay the update history first.
+            server._workers[0].queue.put(("crash", 0, None))
+            batch = server.top_k_many(range(10), k=4)
+        mirror = DynamicGraph(graph)
+        apply_edge_updates(mirror, updates)
+        oracle = QuerySession(mirror, "php", c=0.5).top_k_many(
+            range(10), k=4
+        )
+        for served, truth in zip(batch, oracle):
+            np.testing.assert_array_equal(served.nodes, truth.nodes)
+
+    def test_in_process_fallback_applies_updates(self, graph):
+        dyn = DynamicGraph(graph)  # not publishable: in-process path
+        with ShardedServer.from_graph(
+            dyn, "php", c=0.5, workers=1
+        ) as server:
+            before = server.top_k(0, 3)
+            assert server.apply_updates(
+                [EdgeUpdate(0, 150, "add", weight=50.0)]
+            ) == 1
+            after = server.top_k(0, 3)
+        assert 150 in set(map(int, after.nodes))
+        assert 150 not in set(map(int, before.nodes))
